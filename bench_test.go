@@ -1,0 +1,273 @@
+// Benchmarks regenerating the paper's evaluation artifacts.
+//
+// One benchmark exists per table/figure of the paper (Figure 2, Figure 3 and
+// the abstract's headline metrics) plus one per ablation experiment listed in
+// DESIGN.md (A1–A4) and a set of micro-benchmarks for the core public API.
+//
+// The Figure benches run the small scale so that `go test -bench=.` finishes
+// in seconds; `cmd/noftl-bench -scale paper` runs the full 64-die
+// configuration and prints the same tables.
+package noftl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"noftl"
+	"noftl/internal/experiments"
+	"noftl/internal/flash"
+	"noftl/internal/tpcc"
+)
+
+// benchDB opens a small database for the micro-benchmarks.
+func benchDB(b *testing.B) *noftl.DB {
+	b.Helper()
+	cfg := noftl.DefaultConfig()
+	cfg.Flash.Geometry = flash.Geometry{
+		Channels: 4, DiesPerChannel: 2, PlanesPerDie: 1,
+		BlocksPerDie: 256, PagesPerBlock: 64, PageSize: 4096,
+	}
+	cfg.BufferPoolPages = 1024
+	db, err := noftl.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = db.Close() })
+	return db
+}
+
+// BenchmarkFigure2RegionAdvisor reproduces Figure 2: a TPC-C statistics run
+// followed by the Region Advisor deriving the multi-region placement.
+func BenchmarkFigure2RegionAdvisor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f2, err := experiments.RunFigure2(experiments.ScaleTiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", f2.Table())
+		}
+		b.ReportMetric(float64(len(f2.Plan.Groups)), "regions")
+		b.ReportMetric(float64(f2.Plan.TotalDies), "dies")
+	}
+}
+
+// BenchmarkFigure3Traditional runs the TPC-C experiment under traditional
+// data placement (the left column of Figure 3).
+func BenchmarkFigure3Traditional(b *testing.B) {
+	benchmarkFigure3Run(b, tpcc.PlacementTraditional)
+}
+
+// BenchmarkFigure3Regions runs the TPC-C experiment under the multi-region
+// placement (the right column of Figure 3).
+func BenchmarkFigure3Regions(b *testing.B) {
+	benchmarkFigure3Run(b, tpcc.PlacementRegions)
+}
+
+func benchmarkFigure3Run(b *testing.B, placement tpcc.PlacementKind) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTPCC(experiments.ScaleSmall, placement)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TPS, "tps")
+		b.ReportMetric(float64(res.GCCopybacks), "copybacks")
+		b.ReportMetric(float64(res.GCErases), "erases")
+		b.ReportMetric(res.WriteAmp, "write-amp")
+		b.ReportMetric(float64(res.ReadLatency.Mean.Microseconds()), "read-us")
+		b.ReportMetric(float64(res.WriteLatency.Mean.Microseconds()), "write-us")
+	}
+}
+
+// BenchmarkFigure3Comparison runs both placements back to back and reports
+// the headline deltas of the abstract (experiment E3).
+func BenchmarkFigure3Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f3, err := experiments.RunFigure3(experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", f3.Table(), f3.Headline().String())
+		}
+		h := f3.Headline()
+		b.ReportMetric(h.TPSDeltaPct, "tps-delta-%")
+		b.ReportMetric(h.CopybacksDeltaPct, "copyback-delta-%")
+		b.ReportMetric(h.ErasesDeltaPct, "erase-delta-%")
+	}
+}
+
+// BenchmarkAblationParallelism backs the §2 claim that striping over dies
+// buys I/O parallelism (experiment A1).
+func BenchmarkAblationParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationParallelism(2048, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "speedup-x")
+	}
+}
+
+// BenchmarkAblationHotCold backs the hot/cold separation claim (A2).
+func BenchmarkAblationHotCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationHotCold(2000, 256, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MixedWA, "mixed-WA")
+		b.ReportMetric(res.SeparatedWA, "separated-WA")
+	}
+}
+
+// BenchmarkAblationFTLvsNoFTL backs the §1 motivation: the black-box FTL
+// stack versus NoFTL (A3).
+func BenchmarkAblationFTLvsNoFTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationFTLvsNoFTL(1500, 8000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FTLTime.Seconds()/res.NoFTLTime.Seconds(), "ftl-vs-noftl-x")
+		b.ReportMetric(res.FTLWA, "ftl-WA")
+		b.ReportMetric(res.NoFTLWA, "noftl-WA")
+	}
+}
+
+// BenchmarkAblationRegionSweep backs the parallelism-vs-GC trade-off claim
+// (A4).
+func BenchmarkAblationRegionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunAblationRegionSweep(experiments.ScaleTiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.SweepTable(points))
+		}
+		for _, p := range points {
+			b.ReportMetric(p.TPS, fmt.Sprintf("tps-%dregions", p.Regions))
+		}
+	}
+}
+
+// ---- micro-benchmarks of the public API ----
+
+// BenchmarkTableInsert measures heap inserts through the public API
+// (including WAL logging and index-free path).
+func BenchmarkTableInsert(b *testing.B) {
+	db := benchDB(b)
+	if err := db.Exec("CREATE TABLE BENCH (v VARCHAR(100))"); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Table("BENCH")
+	row := make([]byte, 100)
+	tx := db.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Insert(tx, row); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 {
+			if _, err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			tx = db.Begin()
+		}
+	}
+	b.StopTimer()
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIndexInsertLookup measures B+-tree insert plus point lookup.
+func BenchmarkIndexInsertLookup(b *testing.B) {
+	db := benchDB(b)
+	if err := db.Exec("CREATE TABLE T (k INTEGER); CREATE UNIQUE INDEX T_IDX ON T (k)"); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Table("T")
+	idx, _ := db.Index("T_IDX")
+	tx := db.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rid, err := tbl.Insert(tx, noftl.Key(uint32(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := idx.Insert(tx, noftl.Key(uint32(i)), rid); err != nil {
+			b.Fatal(err)
+		}
+		if _, found, err := idx.Lookup(tx, noftl.Key(uint32(i/2))); err != nil || !found {
+			b.Fatalf("lookup failed: %v", err)
+		}
+		if i%1000 == 999 {
+			if _, err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			tx = db.Begin()
+		}
+	}
+	b.StopTimer()
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFlashWritePath measures the raw NoFTL write path (space manager +
+// flash model) without the database layers on top.
+func BenchmarkFlashWritePath(b *testing.B) {
+	db := benchDB(b)
+	mgr := db.SpaceManager()
+	payload := make([]byte, db.Device().Geometry().PageSize)
+	lpns := mgr.AllocateLPNs(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lpn := lpns + noftl.LPN(i%4096)
+		if _, err := mgr.WritePage(0, lpn, payload, noftl.Hint{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTPCCTransactionBatch measures the end-to-end cost of a batch of
+// 500 TPC-C transactions (standard mix) on a freshly loaded tiny database;
+// database setup and loading are excluded from the timing.  The reported
+// simulated-tps metric is the throughput in simulated time.
+func BenchmarkTPCCTransactionBatch(b *testing.B) {
+	const batch = 500
+	var lastTPS float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		setup := experiments.TPCCSetup(experiments.ScaleTiny)
+		setup.TPCC.Placement = tpcc.PlacementRegions
+		db, err := noftl.Open(setup.DB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sch, err := tpcc.Setup(db, setup.TPCC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tpcc.Load(db, sch, setup.TPCC); err != nil {
+			b.Fatal(err)
+		}
+		cfg := setup.TPCC
+		cfg.Transactions = batch
+		cfg.WarmupTransactions = 0
+		cfg.Duration = 0
+		b.StartTimer()
+		res, err := tpcc.Run(db, sch, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		lastTPS = res.TPS
+		_ = db.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(lastTPS, "simulated-tps")
+	b.ReportMetric(batch, "txns/op")
+}

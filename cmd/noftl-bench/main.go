@@ -1,0 +1,113 @@
+// Command noftl-bench regenerates the paper's evaluation artifacts: the
+// Figure 2 placement configuration, the Figure 3 performance comparison, the
+// abstract's headline metrics and the ablation experiments A1–A4.
+//
+// Usage:
+//
+//	noftl-bench -experiment figure3 -scale small
+//	noftl-bench -experiment all -scale paper     (the full 64-die run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"noftl/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep or all")
+	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = experiments.ScaleTiny
+	case "small":
+		scale = experiments.ScaleSmall
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("=== %s (scale %s) ===\n", name, scale)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wall-clock %.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("figure2") {
+		run("Figure 2: Region Advisor placement configuration", func() error {
+			f2, err := experiments.RunFigure2(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f2.Table())
+			fmt.Println(experiments.PaperFigure2Table(f2.Plan.TotalDies))
+			return nil
+		})
+	}
+	if want("figure3") || want("headline") {
+		run("Figure 3: traditional vs multi-region placement under TPC-C", func() error {
+			f3, err := experiments.RunFigure3(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f3.Table())
+			fmt.Println(f3.Headline().String())
+			return nil
+		})
+	}
+	if want("parallelism") {
+		run("A1: die striping vs single-die layout", func() error {
+			res, err := experiments.RunAblationParallelism(4096, 8, 8)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.String())
+			return nil
+		})
+	}
+	if want("hotcold") {
+		run("A2: hot/cold separation and write amplification", func() error {
+			res, err := experiments.RunAblationHotCold(4000, 512, 30)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.String())
+			return nil
+		})
+	}
+	if want("ftl") {
+		run("A3: black-box FTL vs NoFTL", func() error {
+			res, err := experiments.RunAblationFTLvsNoFTL(3000, 15000)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.String())
+			return nil
+		})
+	}
+	if want("sweep") {
+		run("A4: region count vs throughput and GC overhead", func() error {
+			points, err := experiments.RunAblationRegionSweep(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.SweepTable(points))
+			return nil
+		})
+	}
+}

@@ -1,0 +1,98 @@
+// Package noftl is the public API of the reproduction of "Revisiting DBMS
+// Space Management for Native Flash" (Hardock et al., EDBT 2016).
+//
+// It exposes a small storage engine running directly on simulated native
+// flash under NoFTL space management with Regions:
+//
+//	db, _ := noftl.Open(noftl.DefaultConfig())
+//	defer db.Close()
+//	_ = db.Exec(`CREATE REGION rgHot (MAX_CHIPS=4, MAX_CHANNELS=4);
+//	             CREATE TABLESPACE tsHot (REGION=rgHot, EXTENT SIZE 128K);
+//	             CREATE TABLE T (t_id NUMBER(3)) TABLESPACE tsHot;`)
+//
+// Tables, indexes and transactions are available programmatically; every
+// physical page carries the placement hint of its tablespace's region, so
+// the DBMS — not a flash translation layer — controls physical data
+// placement, garbage collection and wear leveling.  See DESIGN.md for the
+// full system inventory and EXPERIMENTS.md for the reproduced results.
+package noftl
+
+import (
+	"time"
+
+	"noftl/internal/core"
+	"noftl/internal/flash"
+)
+
+// Config configures a Database instance.
+type Config struct {
+	// Flash configures the simulated native flash device (geometry, NAND
+	// timing, endurance).
+	Flash flash.Config
+	// Space configures the NoFTL space manager (placement mode,
+	// over-provisioning, GC thresholds, wear leveling).
+	Space core.Options
+	// BufferPoolPages is the number of page frames in the buffer pool.
+	BufferPoolPages int
+	// WAL enables write-ahead logging (commit durability and the log I/O
+	// stream the placement experiments include).
+	WAL bool
+	// LockTimeout is the lock-wait timeout used as a deadlock safety net.
+	LockTimeout time.Duration
+	// CPUPerOp is the CPU time charged to a transaction for each row or
+	// index operation, so response times are not purely I/O.
+	CPUPerOp time.Duration
+	// ExtentPages is the default tablespace extent size in pages when a DDL
+	// statement does not specify EXTENT SIZE.
+	ExtentPages int
+}
+
+// DefaultConfig returns a small configuration suitable for tests, examples
+// and laptop-scale experiments: an 8-die device with 256 MiB of flash, a
+// 2k-page buffer pool, WAL on, region-aware placement.
+func DefaultConfig() Config {
+	return Config{
+		Flash:           flash.DefaultConfig(),
+		Space:           core.DefaultOptions(),
+		BufferPoolPages: 2048,
+		WAL:             true,
+		LockTimeout:     2 * time.Second,
+		CPUPerOp:        5 * time.Microsecond,
+		ExtentPages:     32,
+	}
+}
+
+// PaperConfig returns a configuration resembling the paper's evaluation
+// platform: 64 dies behind 8 channels.  blocksPerDie scales the device (and
+// therefore database) size.
+func PaperConfig(blocksPerDie int) Config {
+	cfg := DefaultConfig()
+	cfg.Flash = flash.PaperConfig(blocksPerDie)
+	return cfg
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.BufferPoolPages <= 0 {
+		c.BufferPoolPages = 2048
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+	if c.CPUPerOp < 0 {
+		c.CPUPerOp = 0
+	}
+	if c.ExtentPages <= 0 {
+		c.ExtentPages = 32
+	}
+	return c
+}
+
+// Placement re-exports the placement modes for callers configuring the
+// space manager.
+const (
+	// PlacementRegions is region-aware (intelligent) data placement.
+	PlacementRegions = core.PlacementRegions
+	// PlacementTraditional ignores regions: uniform placement over all dies.
+	PlacementTraditional = core.PlacementTraditional
+)

@@ -1,0 +1,474 @@
+package noftl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"noftl/internal/buffer"
+	"noftl/internal/catalog"
+	"noftl/internal/core"
+	"noftl/internal/ddl"
+	"noftl/internal/flash"
+	"noftl/internal/metrics"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+	"noftl/internal/txn"
+	"noftl/internal/wal"
+)
+
+// Errors returned by the database facade.
+var (
+	// ErrNotFound reports a lookup of an unknown table, index, tablespace or
+	// region.
+	ErrNotFound = errors.New("noftl: not found")
+	// ErrClosed reports use of a closed database.
+	ErrClosed = errors.New("noftl: database closed")
+)
+
+// DB is a database instance running on simulated native flash under NoFTL
+// space management.
+type DB struct {
+	cfg      Config
+	dev      *flash.Device
+	space    *core.Manager
+	pool     *buffer.Pool
+	cat      *catalog.Catalog
+	log      *wal.Log
+	txns     *txn.Manager
+	clock    *sim.Clock
+	objStats *metrics.ObjectStats
+
+	mu          sync.RWMutex
+	tablespaces map[string]*storage.Tablespace
+	tables      map[string]*Table
+	indexes     map[string]*Index
+	objectNames map[uint32]string
+	closed      bool
+}
+
+// Open creates a database over a fresh simulated flash device.
+func Open(cfg Config) (*DB, error) {
+	cfg = cfg.withDefaults()
+	dev, err := flash.NewDevice(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	return openOn(cfg, dev)
+}
+
+// OpenOnDevice creates a database over an existing device (used by tools
+// that want to share a device between components).
+func OpenOnDevice(cfg Config, dev *flash.Device) (*DB, error) {
+	cfg = cfg.withDefaults()
+	return openOn(cfg, dev)
+}
+
+func openOn(cfg Config, dev *flash.Device) (*DB, error) {
+	db := &DB{
+		cfg:         cfg,
+		dev:         dev,
+		space:       core.NewManager(dev, cfg.Space),
+		cat:         catalog.New(),
+		clock:       sim.NewClock(),
+		objStats:    metrics.NewObjectStats(),
+		tablespaces: make(map[string]*storage.Tablespace),
+		tables:      make(map[string]*Table),
+		indexes:     make(map[string]*Index),
+		objectNames: make(map[uint32]string),
+	}
+	db.pool = buffer.New(db.space, cfg.BufferPoolPages, dev.Geometry().PageSize, db)
+
+	// The default tablespace lives in the default region; the catalog and
+	// WAL are placed there unless the DBA says otherwise.
+	defTS := storage.NewTablespace("SYSTEM", core.DefaultRegionID, cfg.ExtentPages, db.space)
+	db.tablespaces["SYSTEM"] = defTS
+	if err := db.cat.AddTablespace(catalog.Tablespace{Name: "SYSTEM", Region: core.DefaultRegionName, ExtentPages: cfg.ExtentPages}); err != nil {
+		return nil, err
+	}
+
+	if cfg.WAL {
+		walObj := db.cat.NextObjectID()
+		db.objectNames[walObj] = "WAL"
+		db.objStats.Register("WAL", "log", "SYSTEM")
+		db.log = wal.New(db.space, defTS.Hint(walObj, flash.FlagLog), dev.Geometry().PageSize)
+	}
+	db.txns = txn.NewManager(txn.NewLockManager(cfg.LockTimeout), db.log, db.clock)
+	return db, nil
+}
+
+// Close flushes all dirty pages and marks the database closed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	// Flush outside db.mu: the flush path reports per-object statistics,
+	// which takes a read lock on db.mu.
+	if _, err := db.pool.FlushAll(db.clock.Now()); err != nil {
+		return err
+	}
+	if db.log != nil {
+		if _, err := db.log.Flush(db.clock.Now()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordPhysRead implements buffer.Recorder: physical page reads are charged
+// to the owning object's statistics (consumed by the Region Advisor).
+func (db *DB) RecordPhysRead(objectID uint32, pages int64) {
+	if name, ok := db.objectName(objectID); ok {
+		db.objStats.RecordRead(name, pages)
+	}
+}
+
+// RecordPhysWrite implements buffer.Recorder.
+func (db *DB) RecordPhysWrite(objectID uint32, pages int64) {
+	if name, ok := db.objectName(objectID); ok {
+		db.objStats.RecordWrite(name, pages)
+	}
+}
+
+func (db *DB) objectName(id uint32) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n, ok := db.objectNames[id]
+	return n, ok
+}
+
+// Device returns the underlying flash device.
+func (db *DB) Device() *flash.Device { return db.dev }
+
+// SpaceManager returns the NoFTL space manager.
+func (db *DB) SpaceManager() *core.Manager { return db.space }
+
+// BufferPool returns the buffer pool.
+func (db *DB) BufferPool() *buffer.Pool { return db.pool }
+
+// Catalog returns the schema catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// WAL returns the write-ahead log (nil when disabled).
+func (db *DB) WAL() *wal.Log { return db.log }
+
+// Clock returns the global simulated clock.
+func (db *DB) Clock() *sim.Clock { return db.clock }
+
+// SimulatedTime returns the highest simulated time observed so far.
+func (db *DB) SimulatedTime() sim.Time { return db.clock.Now() }
+
+// ObjectStats returns the per-object I/O statistics collected so far, sorted
+// by I/O rate.
+func (db *DB) ObjectStats() []metrics.ObjectCounters {
+	// Refresh object sizes from the physical structures before reporting.
+	db.mu.RLock()
+	for _, t := range db.tables {
+		db.objStats.SetSize(t.Name(), t.heap.PageCount())
+	}
+	for _, i := range db.indexes {
+		db.objStats.SetSize(i.Name(), i.tree.Pages())
+	}
+	db.mu.RUnlock()
+	if db.log != nil {
+		db.objStats.SetSize("WAL", int64(db.log.PageCount()))
+	}
+	return db.objStats.All()
+}
+
+// Advise runs the Region Advisor over the collected per-object statistics
+// and returns a multi-region placement plan (the paper's Figure 2
+// procedure).
+func (db *DB) Advise(opts core.AdvisorOptions) core.PlacementPlan {
+	return core.Advise(db.ObjectStats(), db.dev.Geometry().Dies(), opts)
+}
+
+// ResetStatistics zeroes every I/O, GC and transaction counter (device,
+// space manager, buffer pool, per-object) without touching data.  Benchmarks
+// call it at the end of the warm-up phase.
+func (db *DB) ResetStatistics() {
+	db.space.ResetCounters()
+	db.pool.ResetCounters()
+	db.objStats.Reset()
+	db.clock.Reset()
+}
+
+// ---- DDL ----
+
+// Exec parses and executes one or more DDL statements.
+func (db *DB) Exec(sql string) error {
+	stmts, err := ddl.Parse(sql)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if err := db.execStatement(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) execStatement(st ddl.Statement) error {
+	switch s := st.(type) {
+	case ddl.CreateRegion:
+		_, err := db.CreateRegion(core.RegionSpec{
+			Name:         s.Name,
+			MaxChips:     s.MaxChips,
+			MaxChannels:  s.MaxChannels,
+			MaxSizeBytes: s.MaxSizeBytes,
+		})
+		return err
+	case ddl.CreateTablespace:
+		extentPages := db.cfg.ExtentPages
+		if s.ExtentSizeBytes > 0 {
+			extentPages = int(s.ExtentSizeBytes) / db.dev.Geometry().PageSize
+			if extentPages < 1 {
+				extentPages = 1
+			}
+		}
+		return db.CreateTablespace(s.Name, s.Region, extentPages)
+	case ddl.CreateTable:
+		cols := make([]catalog.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = catalog.Column{Name: c.Name, Type: c.Type}
+		}
+		_, err := db.CreateTable(s.Name, s.Tablespace, cols)
+		return err
+	case ddl.CreateIndex:
+		_, err := db.CreateIndex(s.Name, s.Table, s.Columns, s.Unique, s.Tablespace)
+		return err
+	case ddl.DropStatement:
+		return db.execDrop(s)
+	default:
+		return fmt.Errorf("noftl: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) execDrop(s ddl.DropStatement) error {
+	switch s.Kind {
+	case "REGION":
+		if err := db.cat.DropRegion(s.Name); err != nil {
+			return err
+		}
+		return db.space.DropRegion(s.Name)
+	case "TABLE":
+		return db.DropTable(s.Name)
+	case "TABLESPACE":
+		return fmt.Errorf("noftl: DROP TABLESPACE is not supported (drop its tables first and recreate the database)")
+	case "INDEX":
+		return fmt.Errorf("noftl: DROP INDEX is not supported")
+	default:
+		return fmt.Errorf("noftl: cannot drop %q", s.Kind)
+	}
+}
+
+// CreateRegion creates a NoFTL region (programmatic form of CREATE REGION).
+func (db *DB) CreateRegion(spec core.RegionSpec) (*core.Region, error) {
+	r, err := db.space.CreateRegion(spec)
+	if err != nil {
+		return nil, err
+	}
+	err = db.cat.AddRegion(catalog.Region{
+		Name:         spec.Name,
+		ID:           r.ID(),
+		MaxChips:     spec.MaxChips,
+		MaxChannels:  spec.MaxChannels,
+		MaxSizeBytes: spec.MaxSizeBytes,
+	})
+	if err != nil {
+		_ = db.space.DropRegion(spec.Name)
+		return nil, err
+	}
+	return r, nil
+}
+
+// CreateTablespace creates a tablespace bound to a region ("" or "DEFAULT"
+// means the default region).
+func (db *DB) CreateTablespace(name, region string, extentPages int) error {
+	regionID := core.DefaultRegionID
+	regionName := core.DefaultRegionName
+	if region != "" && region != core.DefaultRegionName {
+		r, ok := db.space.Region(region)
+		if !ok {
+			return fmt.Errorf("%w: region %q", ErrNotFound, region)
+		}
+		regionID = r.ID()
+		regionName = region
+	}
+	if extentPages <= 0 {
+		extentPages = db.cfg.ExtentPages
+	}
+	if err := db.cat.AddTablespace(catalog.Tablespace{Name: name, Region: regionName, ExtentPages: extentPages}); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.tablespaces[name] = storage.NewTablespace(name, regionID, extentPages, db.space)
+	db.mu.Unlock()
+	return nil
+}
+
+// tablespace returns the runtime tablespace object.
+func (db *DB) tablespace(name string) (*storage.Tablespace, error) {
+	if name == "" {
+		name = "SYSTEM"
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ts, ok := db.tablespaces[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: tablespace %q", ErrNotFound, name)
+	}
+	return ts, nil
+}
+
+// CreateTable creates a table in the given tablespace ("" = SYSTEM).
+func (db *DB) CreateTable(name, tablespace string, columns []catalog.Column) (*Table, error) {
+	ts, err := db.tablespace(tablespace)
+	if err != nil {
+		return nil, err
+	}
+	objID := db.cat.NextObjectID()
+	if err := db.cat.AddTable(catalog.Table{Name: name, ObjectID: objID, Tablespace: ts.Name(), Columns: columns}); err != nil {
+		return nil, err
+	}
+	heap := storage.NewHeapFile(name, objID, ts, db.pool)
+	t := &Table{db: db, heap: heap, name: name, objectID: objID}
+	db.mu.Lock()
+	db.tables[name] = t
+	db.objectNames[objID] = name
+	db.mu.Unlock()
+	db.objStats.Register(name, "table", ts.Name())
+	return t, nil
+}
+
+// DropTable removes a table, its indexes, and trims their pages on flash.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	t, ok := db.tables[name]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: table %q", ErrNotFound, name)
+	}
+	delete(db.tables, name)
+	var droppedIndexes []*Index
+	for iname, idx := range db.indexes {
+		if idx.meta.Table == name {
+			droppedIndexes = append(droppedIndexes, idx)
+			delete(db.indexes, iname)
+		}
+	}
+	db.mu.Unlock()
+	if err := db.cat.DropTable(name); err != nil {
+		return err
+	}
+	// Trim the heap's pages so the space manager can reclaim them.
+	for _, lpn := range t.heap.Pages() {
+		db.pool.Drop(lpn)
+		_ = db.space.TrimPage(lpn) // never-flushed pages are simply unmapped
+	}
+	_ = droppedIndexes // index pages are trimmed lazily by GC reuse
+	return nil
+}
+
+// CreateIndex creates a B+-tree index on a table in the given tablespace
+// ("" = the table's tablespace).
+func (db *DB) CreateIndex(name, table string, columns []string, unique bool, tablespace string) (*Index, error) {
+	db.mu.RLock()
+	_, ok := db.tables[table]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q", ErrNotFound, table)
+	}
+	if tablespace == "" {
+		tmeta, _ := db.cat.Table(table)
+		tablespace = tmeta.Tablespace
+	}
+	ts, err := db.tablespace(tablespace)
+	if err != nil {
+		return nil, err
+	}
+	objID := db.cat.NextObjectID()
+	meta := catalog.Index{Name: name, ObjectID: objID, Table: table, Columns: columns, Unique: unique, Tablespace: ts.Name()}
+	if err := db.cat.AddIndex(meta); err != nil {
+		return nil, err
+	}
+	tree, _, err := btreeNew(db.clock.Now(), name, objID, ts, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{db: db, tree: tree, meta: meta}
+	db.mu.Lock()
+	db.indexes[name] = idx
+	db.objectNames[objID] = name
+	db.mu.Unlock()
+	db.objStats.Register(name, "index", ts.Name())
+	return idx, nil
+}
+
+// Table returns a handle to an existing table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Index returns a handle to an existing index.
+func (db *DB) Index(name string) (*Index, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	i, ok := db.indexes[name]
+	return i, ok
+}
+
+// Tables returns the names of all tables.
+func (db *DB) Tables() []string {
+	var out []string
+	for _, t := range db.cat.Tables() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Begin starts a transaction whose virtual clock starts at the global
+// simulated time.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, inner: db.txns.Begin(db.clock.Now())}
+}
+
+// BeginAt starts a transaction at an explicit virtual time (used by the
+// closed-loop benchmark terminals, which carry their own time cursors).
+func (db *DB) BeginAt(now sim.Time) *Tx {
+	return &Tx{db: db, inner: db.txns.Begin(now)}
+}
+
+// FlushAll writes every dirty buffered page to flash (checkpoint) and
+// returns the advanced virtual time.
+func (db *DB) FlushAll(now sim.Time) (sim.Time, error) {
+	return db.pool.FlushAll(now)
+}
+
+// Checkpoint flushes all dirty pages, truncates the WAL up to the current
+// LSN and returns the advanced time.
+func (db *DB) Checkpoint(now sim.Time) (sim.Time, error) {
+	done, err := db.pool.FlushAll(now)
+	if err != nil {
+		return done, err
+	}
+	if db.log != nil {
+		if _, err := db.log.Append(wal.RecCheckpoint, 0, 0, nil); err != nil {
+			return done, err
+		}
+		done, err = db.log.Flush(done)
+		if err != nil {
+			return done, err
+		}
+		db.log.Truncate(db.log.FlushedLSN())
+	}
+	return done, nil
+}

@@ -1,0 +1,395 @@
+package noftl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"noftl/internal/core"
+	"noftl/internal/flash"
+)
+
+// smallConfig returns a configuration small enough for fast tests but large
+// enough to exercise eviction and GC.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Flash.Geometry = flash.Geometry{
+		Channels: 4, DiesPerChannel: 2, PlanesPerDie: 1,
+		BlocksPerDie: 64, PagesPerBlock: 32, PageSize: 2048,
+	}
+	cfg.BufferPoolPages = 64
+	return cfg
+}
+
+func TestOpenCloseAndPaperDDL(t *testing.T) {
+	db, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// The exact statements from §2 of the paper.
+	err = db.Exec(`
+		CREATE REGION rgHotTbl (MAX_CHIPS=4, MAX_CHANNELS=4, MAX_SIZE=1280M);
+		CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT SIZE 128K);
+		CREATE TABLE T (t_id NUMBER(3)) TABLESPACE tsHotTbl;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The region exists in both catalog and space manager, with 4 dies.
+	if _, ok := db.Catalog().Region("rgHotTbl"); !ok {
+		t.Fatal("region missing from catalog")
+	}
+	st := db.SpaceManager().Stats()
+	rs, ok := st.RegionByName("rgHotTbl")
+	if !ok || len(rs.Dies) != 4 {
+		t.Fatalf("region dies = %v", rs.Dies)
+	}
+	// Table exists and is usable.
+	tbl, ok := db.Table("T")
+	if !ok {
+		t.Fatal("table missing")
+	}
+	tx := db.Begin()
+	rid, err := tbl.Insert(tx, []byte("hello flash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tbl.Get(tx, rid)
+	if err != nil || string(row) != "hello flash" {
+		t.Fatalf("get: %q %v", row, err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad DDL surfaces an error.
+	if err := db.Exec("CREATE NONSENSE x"); err == nil {
+		t.Fatal("bad DDL accepted")
+	}
+	if err := db.Exec("CREATE TABLE X (a INTEGER) TABLESPACE nope"); err == nil {
+		t.Fatal("unknown tablespace accepted")
+	}
+	if err := db.Exec("CREATE TABLESPACE ts2 (REGION=missing)"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	// Closing twice is fine.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionsTablesIndexes(t *testing.T) {
+	db, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(`
+		CREATE TABLE CUSTOMER (c_id INTEGER, c_name VARCHAR(16), c_balance DECIMAL(12,2));
+		CREATE UNIQUE INDEX C_IDX ON CUSTOMER (c_id);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("CUSTOMER")
+	idx, ok := db.Index("C_IDX")
+	if !ok || idx.Table() != "CUSTOMER" || !idx.Unique() {
+		t.Fatalf("index meta wrong: %+v", idx)
+	}
+
+	// Insert 500 customers through transactions, indexed by id.
+	const n = 500
+	for i := 0; i < n; i++ {
+		tx := db.Begin()
+		if err := tx.Lock(fmt.Sprintf("CUSTOMER:%d", i), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		row := []byte(fmt.Sprintf("cust-%05d|%s", i, bytes.Repeat([]byte{'d'}, 80)))
+		rid, err := tbl.Insert(tx, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Insert(tx, Key(uint32(i)), rid); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.RowCount() != n || idx.Entries() != n {
+		t.Fatalf("counts: rows=%d entries=%d", tbl.RowCount(), idx.Entries())
+	}
+	// Point lookups via the index.
+	tx := db.Begin()
+	for _, id := range []uint32{0, 42, 499} {
+		rid, found, err := idx.Lookup(tx, Key(id))
+		if err != nil || !found {
+			t.Fatalf("lookup %d: %v", id, err)
+		}
+		row, err := tbl.Get(tx, rid)
+		if err != nil || !bytes.HasPrefix(row, []byte(fmt.Sprintf("cust-%05d", id))) {
+			t.Fatalf("row %d wrong: %v", id, err)
+		}
+	}
+	// Range scan over the index.
+	count := 0
+	if err := idx.Scan(tx, Key(100), Key(200), func(k []byte, rid RID) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("range scan saw %d", count)
+	}
+	// Prefix scan and delete.
+	if err := idx.Delete(tx, Key(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := idx.Lookup(tx, Key(100)); found {
+		t.Fatal("deleted key still found")
+	}
+	// Update a row through the table handle.
+	rid, _, _ := idx.Lookup(tx, Key(42))
+	newRow := []byte(fmt.Sprintf("cust-%05d|%s", 42, bytes.Repeat([]byte{'E'}, 80)))
+	if err := tbl.Update(tx, rid, newRow); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tbl.Get(tx, rid)
+	if !bytes.Equal(got, newRow) {
+		t.Fatal("update lost")
+	}
+	// Table scan.
+	scanCount := 0
+	if err := tbl.Scan(tx, func(rid RID, row []byte) bool {
+		scanCount++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if scanCount != n {
+		t.Fatalf("table scan saw %d", scanCount)
+	}
+	// Delete a row.
+	if err := tbl.Delete(tx, rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Get(tx, rid); err == nil {
+		t.Fatal("deleted row still readable")
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.ResponseTime() <= 0 {
+		t.Fatal("no response time accounted")
+	}
+
+	// Statistics reflect the work done.
+	stats := db.Stats()
+	if stats.TxnCommitted < n {
+		t.Fatalf("committed = %d", stats.TxnCommitted)
+	}
+	if stats.Buffer.Hits == 0 {
+		t.Fatal("no buffer hits recorded")
+	}
+	if stats.Space.HostWrites == 0 {
+		t.Fatal("no flash writes recorded (WAL flushes at commit should write)")
+	}
+	if stats.Simulated <= 0 || stats.TPS() <= 0 {
+		t.Fatalf("simulated time/TPS wrong: %v %v", stats.Simulated, stats.TPS())
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestPlacementHintsReachRegions(t *testing.T) {
+	cfg := smallConfig()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(`
+		CREATE REGION rgHot (MAX_CHIPS=2);
+		CREATE REGION rgCold (MAX_CHIPS=2);
+		CREATE TABLESPACE tsHot (REGION=rgHot);
+		CREATE TABLESPACE tsCold (REGION=rgCold);
+		CREATE TABLE HOT (v VARCHAR(100)) TABLESPACE tsHot;
+		CREATE TABLE COLD (v VARCHAR(100)) TABLESPACE tsCold;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	hot, _ := db.Table("HOT")
+	cold, _ := db.Table("COLD")
+	tx := db.Begin()
+	payload := bytes.Repeat([]byte{'p'}, 500)
+	for i := 0; i < 200; i++ {
+		if _, err := hot.Insert(tx, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cold.Insert(tx, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
+		t.Fatal(err)
+	}
+	st := db.SpaceManager().Stats()
+	hotStats, _ := st.RegionByName("rgHot")
+	coldStats, _ := st.RegionByName("rgCold")
+	if hotStats.HostWrites == 0 || coldStats.HostWrites == 0 {
+		t.Fatalf("writes did not reach both regions: hot=%d cold=%d", hotStats.HostWrites, coldStats.HostWrites)
+	}
+	// Per-object statistics were recorded and the advisor produces a plan.
+	objs := db.ObjectStats()
+	if len(objs) < 2 {
+		t.Fatalf("object stats: %d objects", len(objs))
+	}
+	foundHot := false
+	for _, o := range objs {
+		if o.Name == "HOT" && o.Writes > 0 {
+			foundHot = true
+		}
+	}
+	if !foundHot {
+		t.Fatalf("HOT object has no physical writes recorded: %+v", objs)
+	}
+	plan := db.Advise(AdvisorOptions{MaxRegions: 3})
+	if len(plan.Groups) == 0 || plan.TotalDies != db.Device().Geometry().Dies() {
+		t.Fatalf("advisor plan: %+v", plan)
+	}
+}
+
+func TestTraditionalModeDatabase(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Space.Mode = core.PlacementTraditional
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(`
+		CREATE REGION rgHot (MAX_CHIPS=2);
+		CREATE TABLESPACE tsHot (REGION=rgHot);
+		CREATE TABLE HOT (v VARCHAR(100)) TABLESPACE tsHot;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	hot, _ := db.Table("HOT")
+	tx := db.Begin()
+	for i := 0; i < 100; i++ {
+		if _, err := hot.Insert(tx, bytes.Repeat([]byte{'q'}, 400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
+		t.Fatal(err)
+	}
+	st := db.SpaceManager().Stats()
+	hotStats, _ := st.RegionByName("rgHot")
+	if hotStats.HostWrites != 0 {
+		t.Fatalf("traditional mode placed %d writes in the hinted region", hotStats.HostWrites)
+	}
+}
+
+func TestCheckpointAndDropTable(t *testing.T) {
+	db, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec("CREATE TABLE TMP (v VARCHAR(64))"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("TMP")
+	tx := db.Begin()
+	for i := 0; i < 300; i++ {
+		if _, err := tbl.Insert(tx, bytes.Repeat([]byte{'t'}, 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(db.SimulatedTime()); err != nil {
+		t.Fatal(err)
+	}
+	validBefore := db.SpaceManager().Stats().ValidPages
+	if validBefore == 0 {
+		t.Fatal("checkpoint flushed nothing")
+	}
+	if err := db.Exec("DROP TABLE TMP"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Table("TMP"); ok {
+		t.Fatal("table still visible after drop")
+	}
+	if db.SpaceManager().Stats().ValidPages >= validBefore {
+		t.Fatal("drop did not trim pages")
+	}
+	if err := db.DropTable("TMP"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double drop: %v", err)
+	}
+	// Unknown objects are reported.
+	if _, err := db.CreateIndex("X", "MISSING", []string{"a"}, false, ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("index on missing table: %v", err)
+	}
+	if _, err := db.CreateTable("Y", "missingTS", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("table in missing tablespace: %v", err)
+	}
+}
+
+func TestResetStatistics(t *testing.T) {
+	db, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec("CREATE TABLE R (v VARCHAR(64))"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("R")
+	tx := db.Begin()
+	for i := 0; i < 50; i++ {
+		if _, err := tbl.Insert(tx, bytes.Repeat([]byte{'r'}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Space.HostWrites == 0 {
+		t.Fatal("no writes before reset")
+	}
+	db.ResetStatistics()
+	st := db.Stats()
+	if st.Space.HostWrites != 0 || st.Buffer.Misses != 0 || st.Simulated != 0 {
+		t.Fatalf("reset incomplete: %+v", st)
+	}
+	// Data survives the reset.
+	tx2 := db.Begin()
+	n := 0
+	if err := tbl.Scan(tx2, func(rid RID, row []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("rows after reset = %d", n)
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

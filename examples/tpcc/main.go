@@ -1,0 +1,39 @@
+// TPC-C example: runs the paper's Figure 3 experiment at a configurable
+// scale — the same TPC-C workload under traditional and under multi-region
+// data placement — and prints the comparison table plus the headline deltas.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"noftl/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = experiments.ScaleTiny
+	case "small":
+		scale = experiments.ScaleSmall
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	fmt.Printf("Running TPC-C under both placements at %s scale (this is simulated flash –\n", scale)
+	fmt.Println("latencies and throughput are in simulated time)...")
+	f3, err := experiments.RunFigure3(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(f3.Table())
+	fmt.Println(f3.Headline().String())
+}

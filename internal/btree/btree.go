@@ -1,0 +1,768 @@
+// Package btree implements a B+-tree index stored in slotted buffer-pool
+// pages, the secondary-index structure used by the TPC-C schema of the
+// reproduction.
+//
+// Keys are arbitrary byte strings compared lexicographically (use KeyBuilder
+// to build order-preserving composite keys); values are small byte strings
+// (record identifiers).  Leaf nodes are chained left-to-right for range
+// scans.  Deletes remove entries without rebalancing (nodes may underflow;
+// space is reclaimed when the node is compacted or split), which is a
+// standard simplification for workload studies and is documented in
+// DESIGN.md.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"noftl/internal/buffer"
+	"noftl/internal/core"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+)
+
+// Errors returned by the tree.
+var (
+	// ErrKeyTooLarge reports a key+value pair that cannot fit into a node.
+	ErrKeyTooLarge = errors.New("btree: key/value too large for a node")
+	// ErrNotFound reports a missing key on Get or Delete.
+	ErrNotFound = errors.New("btree: key not found")
+)
+
+// Node layout constants (within a storage slotted-page buffer, after the
+// common page header).
+const (
+	nodeHdrOff   = storage.PageHeaderSize
+	offFlags     = nodeHdrOff + 0
+	offNumKeys   = nodeHdrOff + 2
+	offRight     = nodeHdrOff + 4  // leaf: right sibling LPN; internal: rightmost child LPN
+	offCellEnd   = nodeHdrOff + 12 // lowest byte used by cell data
+	nodeHdrSize  = 16
+	offsArrayOff = nodeHdrOff + nodeHdrSize
+	flagLeaf     = 1
+)
+
+// Tree is a B+-tree.  All operations are safe for concurrent use; a single
+// tree-level mutex serializes structural access (page-level latching is used
+// underneath for interaction with the flusher).
+type Tree struct {
+	mu       sync.Mutex
+	name     string
+	objectID uint32
+	ts       *storage.Tablespace
+	pool     *buffer.Pool
+	root     core.LPN
+	height   int
+	entries  int64
+	pages    int64
+}
+
+// New creates an empty tree for the object in the tablespace.  The root leaf
+// page is allocated immediately.
+func New(now sim.Time, name string, objectID uint32, ts *storage.Tablespace, pool *buffer.Pool) (*Tree, sim.Time, error) {
+	t := &Tree{name: name, objectID: objectID, ts: ts, pool: pool, height: 1}
+	lpn := ts.AllocatePage()
+	h, done, err := pool.NewPage(now, lpn, t.hint())
+	if err != nil {
+		return nil, done, err
+	}
+	h.Lock()
+	initNode(h.Data(), objectID, uint64(lpn), true)
+	h.Unlock()
+	h.MarkDirty()
+	h.Release()
+	t.root = lpn
+	t.pages = 1
+	return t, done, nil
+}
+
+// Name returns the index name.
+func (t *Tree) Name() string { return t.name }
+
+// ObjectID returns the owning object id.
+func (t *Tree) ObjectID() uint32 { return t.objectID }
+
+// Entries returns the number of key/value pairs in the tree.
+func (t *Tree) Entries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.entries
+}
+
+// Pages returns the number of pages allocated to the tree.
+func (t *Tree) Pages() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pages
+}
+
+// Height returns the current tree height (1 = a single leaf).
+func (t *Tree) Height() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.height
+}
+
+func (t *Tree) hint() core.Hint {
+	return t.ts.Hint(t.objectID, 0)
+}
+
+// ---- node accessors (operate on the raw page buffer) ----
+
+func initNode(buf []byte, objectID uint32, lpn uint64, leaf bool) {
+	pt := storage.PageTypeBTreeNode
+	if leaf {
+		pt = storage.PageTypeBTreeLeaf
+	}
+	storage.InitPage(buf, pt, objectID, lpn)
+	var flags uint16
+	if leaf {
+		flags = flagLeaf
+	}
+	binary.LittleEndian.PutUint16(buf[offFlags:], flags)
+	binary.LittleEndian.PutUint16(buf[offNumKeys:], 0)
+	binary.LittleEndian.PutUint64(buf[offRight:], 0)
+	binary.LittleEndian.PutUint16(buf[offCellEnd:], uint16(len(buf)))
+}
+
+func nodeIsLeaf(buf []byte) bool {
+	return binary.LittleEndian.Uint16(buf[offFlags:])&flagLeaf != 0
+}
+
+func nodeNumKeys(buf []byte) int {
+	return int(binary.LittleEndian.Uint16(buf[offNumKeys:]))
+}
+
+func setNodeNumKeys(buf []byte, n int) {
+	binary.LittleEndian.PutUint16(buf[offNumKeys:], uint16(n))
+}
+
+func nodeRight(buf []byte) uint64 {
+	return binary.LittleEndian.Uint64(buf[offRight:])
+}
+
+func setNodeRight(buf []byte, v uint64) {
+	binary.LittleEndian.PutUint64(buf[offRight:], v)
+}
+
+func cellEnd(buf []byte) int {
+	return int(binary.LittleEndian.Uint16(buf[offCellEnd:]))
+}
+
+func setCellEnd(buf []byte, v int) {
+	binary.LittleEndian.PutUint16(buf[offCellEnd:], uint16(v))
+}
+
+func offsPos(i int) int { return offsArrayOff + 2*i }
+
+func cellOffset(buf []byte, i int) int {
+	return int(binary.LittleEndian.Uint16(buf[offsPos(i):]))
+}
+
+func setCellOffset(buf []byte, i, off int) {
+	binary.LittleEndian.PutUint16(buf[offsPos(i):], uint16(off))
+}
+
+// cellAt returns the key and value of entry i.
+func cellAt(buf []byte, i int) (key, val []byte) {
+	off := cellOffset(buf, i)
+	klen := int(binary.LittleEndian.Uint16(buf[off:]))
+	vlen := int(binary.LittleEndian.Uint16(buf[off+2:]))
+	key = buf[off+4 : off+4+klen]
+	val = buf[off+4+klen : off+4+klen+vlen]
+	return key, val
+}
+
+// freeBytes returns the contiguous free space between the offsets array and
+// the cell area.
+func freeBytes(buf []byte) int {
+	return cellEnd(buf) - (offsArrayOff + 2*nodeNumKeys(buf))
+}
+
+// liveBytes returns the bytes occupied by live cells plus their offset
+// entries.
+func liveBytes(buf []byte) int {
+	total := 0
+	for i := 0; i < nodeNumKeys(buf); i++ {
+		off := cellOffset(buf, i)
+		klen := int(binary.LittleEndian.Uint16(buf[off:]))
+		vlen := int(binary.LittleEndian.Uint16(buf[off+2:]))
+		total += 4 + klen + vlen + 2
+	}
+	return total
+}
+
+// search returns the index of the first entry whose key is >= key, and
+// whether an exact match exists at that index.
+func search(buf []byte, key []byte) (int, bool) {
+	lo, hi := 0, nodeNumKeys(buf)
+	found := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := cellAt(buf, mid)
+		switch bytes.Compare(k, key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			hi = mid
+			found = true
+		case 1:
+			hi = mid
+		}
+	}
+	return lo, found
+}
+
+// searchUpper returns the index of the first entry whose key is strictly
+// greater than key (upper bound).  Internal nodes route with it: the entry
+// (K, C) at that index is the child covering all keys < K.
+func searchUpper(buf []byte, key []byte) int {
+	lo, hi := 0, nodeNumKeys(buf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, _ := cellAt(buf, mid)
+		if bytes.Compare(k, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertCell inserts key/val at position i, assuming it fits.
+func insertCell(buf []byte, i int, key, val []byte) {
+	n := nodeNumKeys(buf)
+	need := 4 + len(key) + len(val)
+	newEnd := cellEnd(buf) - need
+	binary.LittleEndian.PutUint16(buf[newEnd:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(buf[newEnd+2:], uint16(len(val)))
+	copy(buf[newEnd+4:], key)
+	copy(buf[newEnd+4+len(key):], val)
+	setCellEnd(buf, newEnd)
+	// Shift the offsets array right of position i.
+	copy(buf[offsPos(i+1):offsPos(n+1)], buf[offsPos(i):offsPos(n)])
+	setCellOffset(buf, i, newEnd)
+	setNodeNumKeys(buf, n+1)
+}
+
+// removeCell removes entry i (the cell bytes are leaked until compaction).
+func removeCell(buf []byte, i int) {
+	n := nodeNumKeys(buf)
+	copy(buf[offsPos(i):offsPos(n-1)], buf[offsPos(i+1):offsPos(n)])
+	setNodeNumKeys(buf, n-1)
+}
+
+// replaceCellValue overwrites the value of entry i when the new value has
+// the same length; otherwise it removes and reinserts the cell.
+func replaceCellValue(buf []byte, i int, key, val []byte) bool {
+	off := cellOffset(buf, i)
+	klen := int(binary.LittleEndian.Uint16(buf[off:]))
+	vlen := int(binary.LittleEndian.Uint16(buf[off+2:]))
+	if vlen == len(val) {
+		copy(buf[off+4+klen:], val)
+		return true
+	}
+	removeCell(buf, i)
+	if freeBytes(buf) < 4+len(key)+len(val)+2 {
+		compactNode(buf)
+	}
+	if freeBytes(buf) < 4+len(key)+len(val)+2 {
+		return false
+	}
+	pos, _ := search(buf, key)
+	insertCell(buf, pos, key, val)
+	return true
+}
+
+// compactNode rewrites the cell area dropping leaked space.
+func compactNode(buf []byte) {
+	n := nodeNumKeys(buf)
+	type kv struct{ k, v []byte }
+	cells := make([]kv, n)
+	for i := 0; i < n; i++ {
+		k, v := cellAt(buf, i)
+		ck := make([]byte, len(k))
+		copy(ck, k)
+		cv := make([]byte, len(v))
+		copy(cv, v)
+		cells[i] = kv{ck, cv}
+	}
+	end := len(buf)
+	for i := n - 1; i >= 0; i-- {
+		need := 4 + len(cells[i].k) + len(cells[i].v)
+		end -= need
+		binary.LittleEndian.PutUint16(buf[end:], uint16(len(cells[i].k)))
+		binary.LittleEndian.PutUint16(buf[end+2:], uint16(len(cells[i].v)))
+		copy(buf[end+4:], cells[i].k)
+		copy(buf[end+4+len(cells[i].k):], cells[i].v)
+		setCellOffset(buf, i, end)
+	}
+	setCellEnd(buf, end)
+}
+
+// childLPN decodes an internal-node value into a child page number.
+func childLPN(val []byte) core.LPN {
+	return core.LPN(binary.LittleEndian.Uint64(val))
+}
+
+func encodeChild(lpn core.LPN) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(lpn))
+	return out
+}
+
+// ---- tree operations ----
+
+// Get returns the value stored under key.
+func (t *Tree) Get(now sim.Time, key []byte) ([]byte, sim.Time, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lpn := t.root
+	for {
+		h, done, err := t.pool.Fetch(now, lpn, t.hint())
+		if err != nil {
+			return nil, done, false, err
+		}
+		now = done
+		h.RLock()
+		buf := h.Data()
+		if nodeIsLeaf(buf) {
+			i, found := search(buf, key)
+			var out []byte
+			if found {
+				_, v := cellAt(buf, i)
+				out = make([]byte, len(v))
+				copy(out, v)
+			}
+			h.RUnlock()
+			h.Release()
+			return out, now, found, nil
+		}
+		lpn = t.descend(buf, key)
+		h.RUnlock()
+		h.Release()
+	}
+}
+
+// descend picks the child to follow for key in an internal node.  Each
+// entry (K, C) routes keys strictly below K to C; the rightmost pointer
+// covers everything at or above the last separator.
+func (t *Tree) descend(buf []byte, key []byte) core.LPN {
+	i := searchUpper(buf, key)
+	if i < nodeNumKeys(buf) {
+		_, v := cellAt(buf, i)
+		return childLPN(v)
+	}
+	return core.LPN(nodeRight(buf))
+}
+
+// Insert stores value under key, replacing any previous value (upsert).
+func (t *Tree) Insert(now sim.Time, key, value []byte) (sim.Time, error) {
+	if len(key)+len(value)+4 > t.pool.PageSize()/4 {
+		return now, fmt.Errorf("%w: %d bytes", ErrKeyTooLarge, len(key)+len(value))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sep, newChild, done, replaced, err := t.insertInto(now, t.root, key, value)
+	if err != nil {
+		return done, err
+	}
+	now = done
+	if !replaced {
+		t.entries++
+	}
+	if newChild != 0 {
+		// Root split: create a new root with two children.
+		newRootLPN := t.ts.AllocatePage()
+		h, d, err := t.pool.NewPage(now, newRootLPN, t.hint())
+		if err != nil {
+			return d, err
+		}
+		now = d
+		h.Lock()
+		buf := h.Data()
+		initNode(buf, t.objectID, uint64(newRootLPN), false)
+		insertCell(buf, 0, sep, encodeChild(t.root))
+		setNodeRight(buf, uint64(newChild))
+		h.Unlock()
+		h.MarkDirty()
+		h.Release()
+		t.root = newRootLPN
+		t.height++
+		t.pages++
+	}
+	return now, nil
+}
+
+// insertInto inserts into the subtree rooted at lpn.  When the node splits it
+// returns the separator key and the new right sibling's LPN.
+func (t *Tree) insertInto(now sim.Time, lpn core.LPN, key, value []byte) (sep []byte, newChild core.LPN, done sim.Time, replaced bool, err error) {
+	h, done, err := t.pool.Fetch(now, lpn, t.hint())
+	if err != nil {
+		return nil, 0, done, false, err
+	}
+	now = done
+	h.Lock()
+	buf := h.Data()
+
+	if nodeIsLeaf(buf) {
+		i, found := search(buf, key)
+		if found {
+			if replaceCellValue(buf, i, key, value) {
+				h.Unlock()
+				h.MarkDirty()
+				h.Release()
+				return nil, 0, now, true, nil
+			}
+			// fall through to split handling below by reinserting
+		}
+		need := 4 + len(key) + len(value) + 2
+		if freeBytes(buf) < need && liveBytes(buf)+need <= len(buf)-offsArrayOff {
+			compactNode(buf)
+		}
+		if freeBytes(buf) >= need {
+			pos, _ := search(buf, key)
+			insertCell(buf, pos, key, value)
+			h.Unlock()
+			h.MarkDirty()
+			h.Release()
+			return nil, 0, now, found, nil
+		}
+		// Split the leaf.
+		sep, newChild, now, err = t.splitLeaf(now, h, buf, key, value)
+		h.Release()
+		return sep, newChild, now, found, err
+	}
+
+	child := t.descend(buf, key)
+	h.Unlock()
+	childSep, childNew, now, replaced, err := t.insertInto(now, child, key, value)
+	if err != nil {
+		h.Release()
+		return nil, 0, now, replaced, err
+	}
+	if childNew == 0 {
+		h.Release()
+		return nil, 0, now, replaced, nil
+	}
+	// Insert the separator for the new child into this node.
+	h.Lock()
+	buf = h.Data()
+	need := 4 + len(childSep) + 8 + 2
+	if freeBytes(buf) < need && liveBytes(buf)+need <= len(buf)-offsArrayOff {
+		compactNode(buf)
+	}
+	if freeBytes(buf) >= need {
+		pos := searchUpper(buf, childSep)
+		// The new entry (childSep, child) routes keys below the separator to
+		// the old child; whatever pointer used to cover that range (the
+		// entry at pos, or the rightmost pointer) now routes to the new
+		// right sibling.
+		if pos < nodeNumKeys(buf) {
+			replaceCellValue(buf, pos, childSep2(buf, pos), encodeChild(childNew))
+			insertCell(buf, pos, childSep, encodeChild(child))
+		} else {
+			insertCell(buf, pos, childSep, encodeChild(child))
+			setNodeRight(buf, uint64(childNew))
+		}
+		h.Unlock()
+		h.MarkDirty()
+		h.Release()
+		return nil, 0, now, replaced, nil
+	}
+	// Split this internal node.
+	sep, newChild, now, err = t.splitInternal(now, h, buf, childSep, child, childNew)
+	h.Release()
+	return sep, newChild, now, replaced, err
+}
+
+// childSep2 returns the key of entry pos (helper to get a stable slice after
+// potential compaction inside replaceCellValue).
+func childSep2(buf []byte, pos int) []byte {
+	k, _ := cellAt(buf, pos)
+	out := make([]byte, len(k))
+	copy(out, k)
+	return out
+}
+
+// splitLeaf splits a full leaf (held locked by h) and inserts key/value into
+// the correct half.  It returns the separator (first key of the right node)
+// and the right node's LPN.  The caller releases h.
+func (t *Tree) splitLeaf(now sim.Time, h *buffer.Handle, buf []byte, key, value []byte) ([]byte, core.LPN, sim.Time, error) {
+	n := nodeNumKeys(buf)
+	type kv struct{ k, v []byte }
+	all := make([]kv, 0, n+1)
+	for i := 0; i < n; i++ {
+		k, v := cellAt(buf, i)
+		ck := append([]byte(nil), k...)
+		cv := append([]byte(nil), v...)
+		all = append(all, kv{ck, cv})
+	}
+	pos, _ := search(buf, key)
+	all = append(all, kv{})
+	copy(all[pos+1:], all[pos:])
+	all[pos] = kv{append([]byte(nil), key...), append([]byte(nil), value...)}
+
+	mid := len(all) / 2
+	rightLPN := t.ts.AllocatePage()
+	rh, done, err := t.pool.NewPage(now, rightLPN, t.hint())
+	if err != nil {
+		h.Unlock()
+		return nil, 0, done, err
+	}
+	now = done
+	rh.Lock()
+	rbuf := rh.Data()
+	initNode(rbuf, t.objectID, uint64(rightLPN), true)
+	for i, e := range all[mid:] {
+		insertCell(rbuf, i, e.k, e.v)
+	}
+	setNodeRight(rbuf, nodeRight(buf))
+	rh.Unlock()
+	rh.MarkDirty()
+	rh.Release()
+
+	// Rebuild the left node with the lower half.
+	lpnSelf := storage.PageLPN(buf)
+	objID := storage.PageObjectID(buf)
+	initNode(buf, objID, lpnSelf, true)
+	for i, e := range all[:mid] {
+		insertCell(buf, i, e.k, e.v)
+	}
+	setNodeRight(buf, uint64(rightLPN))
+	h.Unlock()
+	h.MarkDirty()
+
+	t.pages++
+	sep := append([]byte(nil), all[mid].k...)
+	return sep, rightLPN, now, nil
+}
+
+// splitInternal splits a full internal node (held locked by h) while adding
+// the separator childSep for oldChild/newChild.  It returns the separator to
+// push up and the new right node's LPN.  The caller releases h.
+func (t *Tree) splitInternal(now sim.Time, h *buffer.Handle, buf []byte, childSep []byte, oldChild, newChild core.LPN) ([]byte, core.LPN, sim.Time, error) {
+	n := nodeNumKeys(buf)
+	type kv struct {
+		k []byte
+		c core.LPN
+	}
+	all := make([]kv, 0, n+1)
+	for i := 0; i < n; i++ {
+		k, v := cellAt(buf, i)
+		all = append(all, kv{append([]byte(nil), k...), childLPN(v)})
+	}
+	rightmost := core.LPN(nodeRight(buf))
+
+	// Insert the new separator: it routes keys < childSep to oldChild, and
+	// the entry (or rightmost pointer) that previously pointed at oldChild
+	// must now point at newChild.
+	pos := searchUpper(buf, childSep)
+	all = append(all, kv{})
+	copy(all[pos+1:], all[pos:])
+	all[pos] = kv{append([]byte(nil), childSep...), oldChild}
+	if pos+1 < len(all) {
+		all[pos+1].c = newChild
+	} else {
+		rightmost = newChild
+	}
+
+	mid := len(all) / 2
+	pushUp := all[mid]
+
+	rightLPN := t.ts.AllocatePage()
+	rh, done, err := t.pool.NewPage(now, rightLPN, t.hint())
+	if err != nil {
+		h.Unlock()
+		return nil, 0, done, err
+	}
+	now = done
+	rh.Lock()
+	rbuf := rh.Data()
+	initNode(rbuf, t.objectID, uint64(rightLPN), false)
+	for i, e := range all[mid+1:] {
+		insertCell(rbuf, i, e.k, encodeChild(e.c))
+	}
+	setNodeRight(rbuf, uint64(rightmost))
+	rh.Unlock()
+	rh.MarkDirty()
+	rh.Release()
+
+	lpnSelf := storage.PageLPN(buf)
+	objID := storage.PageObjectID(buf)
+	initNode(buf, objID, lpnSelf, false)
+	for i, e := range all[:mid] {
+		insertCell(buf, i, e.k, encodeChild(e.c))
+	}
+	setNodeRight(buf, uint64(pushUp.c))
+	h.Unlock()
+	h.MarkDirty()
+
+	t.pages++
+	return pushUp.k, rightLPN, now, nil
+}
+
+// Delete removes key from the tree.
+func (t *Tree) Delete(now sim.Time, key []byte) (sim.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lpn := t.root
+	for {
+		h, done, err := t.pool.Fetch(now, lpn, t.hint())
+		if err != nil {
+			return done, err
+		}
+		now = done
+		h.Lock()
+		buf := h.Data()
+		if nodeIsLeaf(buf) {
+			i, found := search(buf, key)
+			if !found {
+				h.Unlock()
+				h.Release()
+				return now, fmt.Errorf("%w: delete", ErrNotFound)
+			}
+			removeCell(buf, i)
+			h.Unlock()
+			h.MarkDirty()
+			h.Release()
+			t.entries--
+			return now, nil
+		}
+		next := t.descend(buf, key)
+		h.Unlock()
+		h.Release()
+		lpn = next
+	}
+}
+
+// Scan iterates over all entries with startKey <= key < endKey in ascending
+// order (a nil endKey means "until the end of the index").  fn returning
+// false stops the scan.
+func (t *Tree) Scan(now sim.Time, startKey, endKey []byte, fn func(key, value []byte) bool) (sim.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Descend to the leaf containing startKey.
+	lpn := t.root
+	for {
+		h, done, err := t.pool.Fetch(now, lpn, t.hint())
+		if err != nil {
+			return done, err
+		}
+		now = done
+		h.RLock()
+		buf := h.Data()
+		if nodeIsLeaf(buf) {
+			h.RUnlock()
+			h.Release()
+			break
+		}
+		next := t.descend(buf, startKey)
+		h.RUnlock()
+		h.Release()
+		lpn = next
+	}
+	// Walk the leaf chain.
+	for lpn != 0 {
+		h, done, err := t.pool.Fetch(now, lpn, t.hint())
+		if err != nil {
+			return done, err
+		}
+		now = done
+		h.RLock()
+		buf := h.Data()
+		n := nodeNumKeys(buf)
+		i, _ := search(buf, startKey)
+		stop := false
+		for ; i < n; i++ {
+			k, v := cellAt(buf, i)
+			if endKey != nil && bytes.Compare(k, endKey) >= 0 {
+				stop = true
+				break
+			}
+			ck := append([]byte(nil), k...)
+			cv := append([]byte(nil), v...)
+			if !fn(ck, cv) {
+				stop = true
+				break
+			}
+		}
+		next := core.LPN(nodeRight(buf))
+		h.RUnlock()
+		h.Release()
+		if stop {
+			return now, nil
+		}
+		lpn = next
+		// After the first leaf every key qualifies, so scan from the start.
+		startKey = nil
+	}
+	return now, nil
+}
+
+// ScanPrefix iterates over all entries whose key starts with prefix.
+func (t *Tree) ScanPrefix(now sim.Time, prefix []byte, fn func(key, value []byte) bool) (sim.Time, error) {
+	end := prefixEnd(prefix)
+	return t.Scan(now, prefix, end, fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil if no such key exists (all 0xFF).
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// KeyBuilder builds order-preserving composite keys out of integers and
+// strings (big-endian integers, strings terminated with a 0 byte).
+type KeyBuilder struct {
+	buf []byte
+}
+
+// NewKeyBuilder returns an empty builder.
+func NewKeyBuilder() *KeyBuilder { return &KeyBuilder{} }
+
+// AddUint32 appends a 32-bit component.
+func (k *KeyBuilder) AddUint32(v uint32) *KeyBuilder {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	k.buf = append(k.buf, b[:]...)
+	return k
+}
+
+// AddUint64 appends a 64-bit component.
+func (k *KeyBuilder) AddUint64(v uint64) *KeyBuilder {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	k.buf = append(k.buf, b[:]...)
+	return k
+}
+
+// AddString appends a string component terminated by a zero byte.
+func (k *KeyBuilder) AddString(s string) *KeyBuilder {
+	k.buf = append(k.buf, s...)
+	k.buf = append(k.buf, 0)
+	return k
+}
+
+// Bytes returns the composite key.
+func (k *KeyBuilder) Bytes() []byte { return k.buf }
+
+// Key is a convenience for building a key of uint32 components.
+func Key(parts ...uint32) []byte {
+	kb := NewKeyBuilder()
+	for _, p := range parts {
+		kb.AddUint32(p)
+	}
+	return kb.Bytes()
+}

@@ -1,0 +1,406 @@
+// Package buffer implements the DBMS buffer pool used by the reproduction:
+// a fixed set of page frames over the NoFTL space manager with CLOCK
+// eviction, pin/unpin, per-frame latches, dirty-page write-back and
+// background flushers.
+//
+// Physical page reads and writes consume virtual time on the flash device;
+// the pool threads the caller's virtual-time cursor through every operation
+// so that buffer misses and dirty evictions show up in transaction response
+// times exactly as they would on real hardware.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"noftl/internal/core"
+	"noftl/internal/sim"
+)
+
+// Backend is the page store underneath the pool.  *core.Manager satisfies
+// it; tests may plug in simpler implementations.
+type Backend interface {
+	ReadPage(now sim.Time, lpn core.LPN, buf []byte) ([]byte, sim.Time, error)
+	WritePage(now sim.Time, lpn core.LPN, data []byte, hint core.Hint) (sim.Time, error)
+}
+
+// Recorder receives physical I/O notifications per database object; the DB
+// layer uses it to maintain the per-object statistics consumed by the Region
+// Advisor.  A nil Recorder disables recording.
+type Recorder interface {
+	RecordPhysRead(objectID uint32, pages int64)
+	RecordPhysWrite(objectID uint32, pages int64)
+}
+
+// Errors returned by the pool.
+var (
+	// ErrPoolFull reports that every frame is pinned and nothing can be
+	// evicted.
+	ErrPoolFull = errors.New("buffer: all frames pinned")
+	// ErrNotCached reports a FlushPage of a page that is not resident.
+	ErrNotCached = errors.New("buffer: page not resident")
+)
+
+// Frame is one page-sized slot of the pool.
+type Frame struct {
+	mu    sync.RWMutex // content latch
+	lpn   core.LPN
+	data  []byte
+	hint  core.Hint
+	dirty atomic.Bool // set by MarkDirty without the pool mutex
+	valid bool
+	pins  int
+	ref   bool
+}
+
+// Handle is a pinned reference to a frame.  Callers must Release it exactly
+// once, and must bracket data access with Lock/Unlock (writers) or
+// RLock/RUnlock (readers).
+type Handle struct {
+	pool  *Pool
+	frame *Frame
+	idx   int
+}
+
+// Data returns the frame's page buffer.  The caller must hold the frame
+// latch while reading or writing it.
+func (h *Handle) Data() []byte { return h.frame.data }
+
+// LPN returns the logical page number of the pinned page.
+func (h *Handle) LPN() core.LPN { return h.frame.lpn }
+
+// Lock acquires the frame's write latch.
+func (h *Handle) Lock() { h.frame.mu.Lock() }
+
+// Unlock releases the frame's write latch.
+func (h *Handle) Unlock() { h.frame.mu.Unlock() }
+
+// RLock acquires the frame's read latch.
+func (h *Handle) RLock() { h.frame.mu.RLock() }
+
+// RUnlock releases the frame's read latch.
+func (h *Handle) RUnlock() { h.frame.mu.RUnlock() }
+
+// MarkDirty flags the page as modified so it will be written back before
+// eviction.  Call it while holding the write latch.
+func (h *Handle) MarkDirty() {
+	h.frame.dirty.Store(true)
+}
+
+// Release unpins the page.
+func (h *Handle) Release() {
+	h.pool.mu.Lock()
+	if h.frame.pins > 0 {
+		h.frame.pins--
+	}
+	h.pool.mu.Unlock()
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Frames     int
+	Resident   int
+	Dirty      int
+	Hits       int64
+	Misses     int64
+	NewPages   int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// HitRatio returns hits / (hits + misses), or zero when idle.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	mu       sync.Mutex
+	backend  Backend
+	recorder Recorder
+	frames   []*Frame
+	table    map[core.LPN]int
+	hand     int
+	pageSize int
+
+	hits       int64
+	misses     int64
+	newPages   int64
+	evictions  int64
+	writebacks int64
+}
+
+// New creates a pool of frameCount frames of pageSize bytes over the
+// backend.
+func New(backend Backend, frameCount, pageSize int, recorder Recorder) *Pool {
+	if frameCount < 2 {
+		frameCount = 2
+	}
+	p := &Pool{
+		backend:  backend,
+		recorder: recorder,
+		frames:   make([]*Frame, frameCount),
+		table:    make(map[core.LPN]int, frameCount),
+		pageSize: pageSize,
+	}
+	for i := range p.frames {
+		p.frames[i] = &Frame{data: make([]byte, pageSize)}
+	}
+	return p
+}
+
+// PageSize returns the frame size in bytes.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Frames:     len(p.frames),
+		Hits:       p.hits,
+		Misses:     p.misses,
+		NewPages:   p.newPages,
+		Evictions:  p.evictions,
+		Writebacks: p.writebacks,
+	}
+	for _, f := range p.frames {
+		if f.valid {
+			st.Resident++
+			if f.dirty.Load() {
+				st.Dirty++
+			}
+		}
+	}
+	return st
+}
+
+// ResetCounters zeroes the hit/miss/eviction counters (after warm-up).
+func (p *Pool) ResetCounters() {
+	p.mu.Lock()
+	p.hits, p.misses, p.newPages, p.evictions, p.writebacks = 0, 0, 0, 0, 0
+	p.mu.Unlock()
+}
+
+// Fetch pins the page, reading it from the backend on a miss.  The returned
+// time includes any eviction write-back and the read itself.
+func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.Time, error) {
+	p.mu.Lock()
+	if idx, ok := p.table[lpn]; ok {
+		f := p.frames[idx]
+		f.pins++
+		f.ref = true
+		p.hits++
+		p.mu.Unlock()
+		return &Handle{pool: p, frame: f, idx: idx}, now, nil
+	}
+	p.misses++
+	idx, now, err := p.allocFrameLocked(now)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, now, err
+	}
+	f := p.frames[idx]
+	f.lpn = lpn
+	f.hint = hint
+	f.valid = true
+	f.dirty.Store(false)
+	f.pins = 1
+	f.ref = true
+	// Hold the frame's content latch across the read so that a concurrent
+	// Fetch of the same page (which hits in the table the moment we publish
+	// it) blocks on the latch until the data has actually arrived.
+	f.mu.Lock()
+	p.table[lpn] = idx
+	p.mu.Unlock()
+
+	_, done, err := p.backend.ReadPage(now, lpn, f.data)
+	f.mu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.table, lpn)
+		f.valid = false
+		f.pins = 0
+		p.mu.Unlock()
+		return nil, done, fmt.Errorf("buffer: fetch lpn %d: %w", lpn, err)
+	}
+	if p.recorder != nil {
+		p.recorder.RecordPhysRead(hint.ObjectID, 1)
+	}
+	return &Handle{pool: p, frame: f, idx: idx}, done, nil
+}
+
+// NewPage pins a frame for a brand-new page without reading the backend.
+// The frame starts zeroed and dirty.
+func (p *Pool) NewPage(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.Time, error) {
+	p.mu.Lock()
+	if idx, ok := p.table[lpn]; ok {
+		// The page is already resident (e.g. re-created after a trim); reuse
+		// the frame and reset its contents.
+		f := p.frames[idx]
+		f.pins++
+		f.ref = true
+		f.dirty.Store(true)
+		for i := range f.data {
+			f.data[i] = 0
+		}
+		p.newPages++
+		p.mu.Unlock()
+		return &Handle{pool: p, frame: f, idx: idx}, now, nil
+	}
+	p.newPages++
+	idx, now, err := p.allocFrameLocked(now)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, now, err
+	}
+	f := p.frames[idx]
+	f.lpn = lpn
+	f.hint = hint
+	f.valid = true
+	f.dirty.Store(true)
+	f.pins = 1
+	f.ref = true
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	p.table[lpn] = idx
+	p.mu.Unlock()
+	return &Handle{pool: p, frame: f, idx: idx}, now, nil
+}
+
+// allocFrameLocked finds a victim frame using the CLOCK policy, writing it
+// back if dirty.  Caller holds p.mu; the mutex stays held throughout (the
+// backend write is bookkeeping plus virtual-time math, not real I/O).
+func (p *Pool) allocFrameLocked(now sim.Time) (int, sim.Time, error) {
+	// First pass preference: an invalid (never used) frame.
+	for i, f := range p.frames {
+		if !f.valid && f.pins == 0 {
+			return i, now, nil
+		}
+	}
+	// CLOCK sweep, at most two full rounds.
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		f := p.frames[idx]
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		// Victim found.
+		if f.dirty.Load() {
+			done, err := p.backend.WritePage(now, f.lpn, f.data, f.hint)
+			if err != nil {
+				return 0, now, fmt.Errorf("buffer: writeback lpn %d: %w", f.lpn, err)
+			}
+			now = done
+			p.writebacks++
+			if p.recorder != nil {
+				p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
+			}
+		}
+		delete(p.table, f.lpn)
+		f.valid = false
+		f.dirty.Store(false)
+		p.evictions++
+		return idx, now, nil
+	}
+	return 0, now, ErrPoolFull
+}
+
+// FlushPage writes the page back to the backend if it is resident and dirty.
+func (p *Pool) FlushPage(now sim.Time, lpn core.LPN) (sim.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, ok := p.table[lpn]
+	if !ok {
+		return now, fmt.Errorf("%w: lpn %d", ErrNotCached, lpn)
+	}
+	return p.flushFrameLocked(now, idx)
+}
+
+func (p *Pool) flushFrameLocked(now sim.Time, idx int) (sim.Time, error) {
+	f := p.frames[idx]
+	if !f.valid || !f.dirty.Load() {
+		return now, nil
+	}
+	done, err := p.backend.WritePage(now, f.lpn, f.data, f.hint)
+	if err != nil {
+		return now, err
+	}
+	f.dirty.Store(false)
+	p.writebacks++
+	if p.recorder != nil {
+		p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
+	}
+	return done, nil
+}
+
+// FlushAll writes every dirty, unpinned resident page back to the backend
+// (checkpoint).  Pinned pages are skipped — they are being modified by a
+// concurrent transaction and will be written back on eviction or at the next
+// checkpoint.
+func (p *Pool) FlushAll(now sim.Time) (sim.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for idx, f := range p.frames {
+		if !f.valid || !f.dirty.Load() || f.pins > 0 {
+			continue
+		}
+		done, err := p.flushFrameLocked(now, idx)
+		if err != nil {
+			return now, err
+		}
+		now = done
+	}
+	return now, nil
+}
+
+// FlushSome writes back up to n dirty unpinned pages, oldest-hand first.  It
+// is the work unit of the background flusher; returning the count lets the
+// flusher adapt its pace.
+func (p *Pool) FlushSome(now sim.Time, n int) (int, sim.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	flushed := 0
+	for idx, f := range p.frames {
+		if flushed >= n {
+			break
+		}
+		if !f.valid || !f.dirty.Load() || f.pins > 0 {
+			continue
+		}
+		done, err := p.flushFrameLocked(now, idx)
+		if err != nil {
+			return flushed, now, err
+		}
+		now = done
+		flushed++
+	}
+	return flushed, now, nil
+}
+
+// Drop removes a page from the pool without writing it back (used when an
+// object is dropped and its pages trimmed).
+func (p *Pool) Drop(lpn core.LPN) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.table[lpn]; ok {
+		f := p.frames[idx]
+		if f.pins == 0 {
+			delete(p.table, lpn)
+			f.valid = false
+			f.dirty.Store(false)
+		}
+	}
+}

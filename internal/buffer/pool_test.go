@@ -1,0 +1,358 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"noftl/internal/core"
+	"noftl/internal/sim"
+)
+
+// memBackend is an in-memory Backend with fixed per-operation virtual
+// latencies, used to test the pool in isolation from the flash stack.
+type memBackend struct {
+	mu       sync.Mutex
+	pages    map[core.LPN][]byte
+	pageSize int
+	readLat  time.Duration
+	writeLat time.Duration
+	reads    int
+	writes   int
+	failRead bool
+}
+
+func newMemBackend(pageSize int) *memBackend {
+	return &memBackend{
+		pages:    make(map[core.LPN][]byte),
+		pageSize: pageSize,
+		readLat:  50 * time.Microsecond,
+		writeLat: 300 * time.Microsecond,
+	}
+}
+
+func (b *memBackend) ReadPage(now sim.Time, lpn core.LPN, buf []byte) ([]byte, sim.Time, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failRead {
+		return nil, now, errors.New("injected read failure")
+	}
+	data, ok := b.pages[lpn]
+	if !ok {
+		return nil, now, core.ErrUnmappedPage
+	}
+	b.reads++
+	copy(buf, data)
+	return buf, now.Add(b.readLat), nil
+}
+
+func (b *memBackend) WritePage(now sim.Time, lpn core.LPN, data []byte, hint core.Hint) (sim.Time, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.pages[lpn] = cp
+	b.writes++
+	return now.Add(b.writeLat), nil
+}
+
+type countingRecorder struct {
+	mu     sync.Mutex
+	reads  map[uint32]int64
+	writes map[uint32]int64
+}
+
+func newCountingRecorder() *countingRecorder {
+	return &countingRecorder{reads: map[uint32]int64{}, writes: map[uint32]int64{}}
+}
+
+func (r *countingRecorder) RecordPhysRead(obj uint32, n int64) {
+	r.mu.Lock()
+	r.reads[obj] += n
+	r.mu.Unlock()
+}
+
+func (r *countingRecorder) RecordPhysWrite(obj uint32, n int64) {
+	r.mu.Lock()
+	r.writes[obj] += n
+	r.mu.Unlock()
+}
+
+func TestPoolNewPageFetchRoundTrip(t *testing.T) {
+	be := newMemBackend(256)
+	rec := newCountingRecorder()
+	p := New(be, 4, 256, rec)
+	if p.PageSize() != 256 {
+		t.Fatalf("page size = %d", p.PageSize())
+	}
+
+	h, now, err := p.NewPage(0, 10, core.Hint{ObjectID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Lock()
+	h.Data()[0] = 0xAA
+	h.Unlock()
+	h.MarkDirty()
+	if h.LPN() != 10 {
+		t.Fatalf("handle LPN = %d", h.LPN())
+	}
+	h.Release()
+
+	// The page is resident: fetch is a hit, no backend read.
+	h2, _, err := p.Fetch(now, 10, core.Hint{ObjectID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.RLock()
+	if h2.Data()[0] != 0xAA {
+		t.Fatal("data lost on re-fetch")
+	}
+	h2.RUnlock()
+	h2.Release()
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.NewPages != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if be.reads != 0 {
+		t.Fatal("hit caused a backend read")
+	}
+	// Flush, then evict everything via new pages; re-fetch must read from
+	// the backend and still see the data.
+	if _, err := p.FlushAll(now); err != nil {
+		t.Fatal(err)
+	}
+	if be.writes != 1 {
+		t.Fatalf("flush wrote %d pages", be.writes)
+	}
+	for i := 0; i < 8; i++ {
+		h, _, err := p.NewPage(now, core.LPN(100+i), core.Hint{ObjectID: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	h3, _, err := p.Fetch(now, 10, core.Hint{ObjectID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3.RLock()
+	if h3.Data()[0] != 0xAA {
+		t.Fatal("data lost after eviction round trip")
+	}
+	h3.RUnlock()
+	h3.Release()
+	st = p.Stats()
+	if st.Misses != 1 || st.Evictions == 0 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	if rec.reads[1] != 1 {
+		t.Fatalf("recorder reads: %+v", rec.reads)
+	}
+	if rec.writes[1]+rec.writes[2] == 0 {
+		t.Fatalf("recorder writes: %+v", rec.writes)
+	}
+	if st.HitRatio() <= 0 || st.HitRatio() >= 1 {
+		t.Fatalf("hit ratio = %v", st.HitRatio())
+	}
+}
+
+func TestPoolDirtyEvictionWritesBack(t *testing.T) {
+	be := newMemBackend(128)
+	p := New(be, 2, 128, nil)
+	// Dirty two pages, then touch a third: one dirty page must be written
+	// back to make room, and the caller's virtual time must advance by at
+	// least the write latency.
+	for i := 0; i < 2; i++ {
+		h, _, err := p.NewPage(0, core.LPN(i+1), core.Hint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Lock()
+		h.Data()[0] = byte(i + 1)
+		h.Unlock()
+		h.MarkDirty()
+		h.Release()
+	}
+	h, done, err := p.NewPage(0, 3, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if be.writes == 0 {
+		t.Fatal("dirty eviction did not write back")
+	}
+	if done < sim.Time(be.writeLat) {
+		t.Fatalf("eviction write-back not charged to caller: %v", done)
+	}
+	// The evicted page's data survives in the backend.
+	st := p.Stats()
+	if st.Writebacks == 0 || st.Evictions == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPoolAllPinned(t *testing.T) {
+	be := newMemBackend(128)
+	p := New(be, 2, 128, nil)
+	h1, _, err := p.NewPage(0, 1, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := p.NewPage(0, 2, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.NewPage(0, 3, core.Hint{}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("want ErrPoolFull, got %v", err)
+	}
+	h1.Release()
+	h2.Release()
+	if h, _, err := p.NewPage(0, 3, core.Hint{}); err != nil {
+		t.Fatalf("after release: %v", err)
+	} else {
+		h.Release()
+	}
+}
+
+func TestPoolFetchErrorPropagates(t *testing.T) {
+	be := newMemBackend(128)
+	p := New(be, 2, 128, nil)
+	if _, _, err := p.Fetch(0, 77, core.Hint{}); err == nil {
+		t.Fatal("fetch of unknown page succeeded")
+	}
+	// The failed frame is reusable afterwards.
+	h, _, err := p.NewPage(0, 1, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+}
+
+func TestPoolFlushPageAndDrop(t *testing.T) {
+	be := newMemBackend(128)
+	p := New(be, 4, 128, nil)
+	h, _, err := p.NewPage(0, 9, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Lock()
+	h.Data()[1] = 7
+	h.Unlock()
+	h.MarkDirty()
+	h.Release()
+	if _, err := p.FlushPage(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if be.writes != 1 {
+		t.Fatalf("writes = %d", be.writes)
+	}
+	// Flushing a clean page is a no-op; flushing a non-resident page errors.
+	if _, err := p.FlushPage(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if be.writes != 1 {
+		t.Fatal("clean flush wrote")
+	}
+	if _, err := p.FlushPage(0, 999); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("want ErrNotCached, got %v", err)
+	}
+	p.Drop(9)
+	if _, err := p.FlushPage(0, 9); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("dropped page still resident: %v", err)
+	}
+	p.Drop(12345) // dropping a non-resident page is a no-op
+}
+
+func TestPoolFlushSome(t *testing.T) {
+	be := newMemBackend(128)
+	p := New(be, 8, 128, nil)
+	for i := 0; i < 6; i++ {
+		h, _, err := p.NewPage(0, core.LPN(i+1), core.Hint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.MarkDirty()
+		h.Release()
+	}
+	n, _, err := p.FlushSome(0, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("FlushSome = %d, %v", n, err)
+	}
+	st := p.Stats()
+	if st.Dirty != 3 {
+		t.Fatalf("dirty after partial flush = %d", st.Dirty)
+	}
+	n, _, err = p.FlushSome(0, 100)
+	if err != nil || n != 3 {
+		t.Fatalf("second FlushSome = %d, %v", n, err)
+	}
+	if p.Stats().Dirty != 0 {
+		t.Fatal("dirty pages remain")
+	}
+}
+
+func TestPoolResetCounters(t *testing.T) {
+	be := newMemBackend(128)
+	p := New(be, 4, 128, nil)
+	h, _, _ := p.NewPage(0, 1, core.Hint{})
+	h.Release()
+	if _, _, err := p.Fetch(0, 1, core.Hint{}); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetCounters()
+	st := p.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.NewPages != 0 {
+		t.Fatalf("counters not reset: %+v", st)
+	}
+	if st.Resident == 0 {
+		t.Fatal("reset dropped resident pages")
+	}
+}
+
+func TestPoolConcurrentAccess(t *testing.T) {
+	be := newMemBackend(128)
+	p := New(be, 32, 128, nil)
+	// Pre-create pages.
+	for i := 0; i < 64; i++ {
+		h, _, err := p.NewPage(0, core.LPN(i+1), core.Hint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.MarkDirty()
+		h.Release()
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			r := sim.NewRand(uint64(seed))
+			now := sim.Time(0)
+			for i := 0; i < 500; i++ {
+				lpn := core.LPN(r.Intn(64) + 1)
+				h, done, err := p.Fetch(now, lpn, core.Hint{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				now = done
+				h.Lock()
+				h.Data()[2]++
+				h.Unlock()
+				h.MarkDirty()
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if _, err := p.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+}

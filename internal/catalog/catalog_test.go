@@ -1,0 +1,111 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCatalogRegionsAndTablespaces(t *testing.T) {
+	c := New()
+	if err := c.AddRegion(Region{Name: "rgHot", ID: 1, MaxChips: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRegion(Region{Name: "rgHot"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate region: %v", err)
+	}
+	r, ok := c.Region("rgHot")
+	if !ok || r.MaxChips != 8 {
+		t.Fatalf("region lookup: %+v %v", r, ok)
+	}
+	if _, ok := c.Region("nope"); ok {
+		t.Fatal("unknown region found")
+	}
+	// Tablespace referencing a missing region fails.
+	if err := c.AddTablespace(Tablespace{Name: "ts1", Region: "missing"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing region: %v", err)
+	}
+	if err := c.AddTablespace(Tablespace{Name: "ts1", Region: "rgHot", ExtentPages: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTablespace(Tablespace{Name: "ts1", Region: "rgHot"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate tablespace: %v", err)
+	}
+	// The default region needs no registration.
+	if err := c.AddTablespace(Tablespace{Name: "tsDefault", Region: "DEFAULT"}); err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := c.Tablespace("ts1")
+	if !ok || ts.Region != "rgHot" || ts.ExtentPages != 32 {
+		t.Fatalf("tablespace lookup: %+v", ts)
+	}
+	// A region used by a tablespace cannot be dropped.
+	if err := c.DropRegion("rgHot"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("drop in-use region: %v", err)
+	}
+	if err := c.DropRegion("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("drop missing region: %v", err)
+	}
+	if len(c.Regions()) != 1 || len(c.Tablespaces()) != 2 {
+		t.Fatalf("listings: %d regions %d tablespaces", len(c.Regions()), len(c.Tablespaces()))
+	}
+}
+
+func TestCatalogTablesAndIndexes(t *testing.T) {
+	c := New()
+	if err := c.AddTablespace(Tablespace{Name: "ts1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Table referencing a missing tablespace fails.
+	if err := c.AddTable(Table{Name: "T", Tablespace: "missing"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing tablespace: %v", err)
+	}
+	id1 := c.NextObjectID()
+	id2 := c.NextObjectID()
+	if id1 == id2 {
+		t.Fatal("object ids not unique")
+	}
+	if err := c.AddTable(Table{Name: "T", ObjectID: id1, Tablespace: "ts1",
+		Columns: []Column{{Name: "t_id", Type: "NUMBER(3)"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(Table{Name: "T"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate table: %v", err)
+	}
+	tab, ok := c.Table("T")
+	if !ok || tab.ObjectID != id1 || len(tab.Columns) != 1 {
+		t.Fatalf("table lookup: %+v", tab)
+	}
+	// Index on a missing table fails.
+	if err := c.AddIndex(Index{Name: "I", Table: "missing"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("index missing table: %v", err)
+	}
+	if err := c.AddIndex(Index{Name: "I_T", ObjectID: id2, Table: "T", Columns: []string{"t_id"}, Unique: true, Tablespace: "ts1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(Index{Name: "I_T", Table: "T"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate index: %v", err)
+	}
+	if err := c.AddIndex(Index{Name: "I_BAD", Table: "T", Tablespace: "missing"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("index missing tablespace: %v", err)
+	}
+	idx, ok := c.Index("I_T")
+	if !ok || !idx.Unique || idx.Table != "T" {
+		t.Fatalf("index lookup: %+v", idx)
+	}
+	if got := c.TableIndexes("T"); len(got) != 1 || got[0].Name != "I_T" {
+		t.Fatalf("table indexes: %+v", got)
+	}
+	if len(c.Tables()) != 1 || len(c.Indexes()) != 1 {
+		t.Fatal("listings wrong")
+	}
+	// Dropping the table drops its indexes.
+	if err := c.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("T"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double drop: %v", err)
+	}
+	if _, ok := c.Index("I_T"); ok {
+		t.Fatal("index survived table drop")
+	}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"noftl/internal/metrics"
+)
+
+// The Region Advisor derives a multi-region data placement configuration
+// from observed per-object I/O statistics — the procedure behind the paper's
+// Figure 2, where the TPC-C objects are divided into 6 regions and the 64
+// dies are distributed "based on sizes of objects and their I/O rate".
+//
+// The advisor
+//  1. classifies every object by its access profile (append-only,
+//     write-hot, mixed, read-mostly, cold),
+//  2. groups objects with similar profiles, giving very I/O-intensive
+//     objects a region of their own,
+//  3. allocates dies to groups proportionally to a blend of each group's
+//     share of the total I/O rate and of the total size, with at least one
+//     die per group.
+
+// AdvisorOptions tune the grouping and die-allocation heuristics.
+type AdvisorOptions struct {
+	// MaxRegions is the maximum number of regions to produce (including the
+	// metadata/append region).  Default 6, as in the paper's Figure 2.
+	MaxRegions int
+	// TotalDies is the number of dies to distribute.  Default: all dies.
+	TotalDies int
+	// DedicatedShare is the fraction of total I/O above which an object gets
+	// a region of its own.  Default 0.15.
+	DedicatedShare float64
+	// IOWeight is the weight of the I/O-rate share when sizing regions (the
+	// remainder is the size share).  Default 0.6.
+	IOWeight float64
+}
+
+func (o AdvisorOptions) withDefaults(totalDies int) AdvisorOptions {
+	if o.MaxRegions <= 1 {
+		o.MaxRegions = 6
+	}
+	if o.TotalDies <= 0 {
+		o.TotalDies = totalDies
+	}
+	if o.DedicatedShare <= 0 || o.DedicatedShare >= 1 {
+		o.DedicatedShare = 0.15
+	}
+	if o.IOWeight <= 0 || o.IOWeight > 1 {
+		o.IOWeight = 0.6
+	}
+	return o
+}
+
+// AccessProfile classifies an object's I/O behaviour.
+type AccessProfile string
+
+// Access profiles assigned by the advisor.
+const (
+	ProfileMetadata   AccessProfile = "metadata"    // catalog, logs, tiny system objects
+	ProfileAppendOnly AccessProfile = "append-only" // insert-only growth (e.g. HISTORY)
+	ProfileWriteHot   AccessProfile = "write-hot"   // high write share of a high I/O rate
+	ProfileMixed      AccessProfile = "mixed"       // reads and writes both significant
+	ProfileReadMostly AccessProfile = "read-mostly" // almost exclusively read
+	ProfileCold       AccessProfile = "cold"        // negligible I/O
+)
+
+// PlacementGroup is one region proposed by the advisor.
+type PlacementGroup struct {
+	// Name is a generated region name (rg0, rg1, …) unless overridden.
+	Name string
+	// Objects are the database objects placed in this region.
+	Objects []string
+	// Profile is the dominant access profile of the group.
+	Profile AccessProfile
+	// Dies is the number of dies allocated to the region.
+	Dies int
+	// IOShare and SizeShare are the group's fraction of the workload's total
+	// I/O rate and of the total size (diagnostics for the Figure 2 table).
+	IOShare   float64
+	SizeShare float64
+}
+
+// PlacementPlan is the advisor's output: one group per region plus the die
+// total it was computed for.
+type PlacementPlan struct {
+	Groups    []PlacementGroup
+	TotalDies int
+}
+
+// TableString renders the plan in the layout of the paper's Figure 2:
+// region number, objects, number of flash dies.
+func (p PlacementPlan) TableString() string {
+	tbl := metrics.NewTable("Multi-region data placement configuration",
+		"Tablespace/Region", "DB-Objects", "Profile", "Num. of Flash dies")
+	for i, g := range p.Groups {
+		tbl.AddRow(i, strings.Join(g.Objects, "; "), string(g.Profile), g.Dies)
+	}
+	return tbl.String()
+}
+
+// RegionSpecs converts the plan into CreateRegion specifications.
+func (p PlacementPlan) RegionSpecs() []RegionSpec {
+	specs := make([]RegionSpec, 0, len(p.Groups))
+	for _, g := range p.Groups {
+		specs = append(specs, RegionSpec{Name: g.Name, MaxChips: g.Dies})
+	}
+	return specs
+}
+
+// GroupOf returns the group index an object was placed in, or -1.
+func (p PlacementPlan) GroupOf(object string) int {
+	for i, g := range p.Groups {
+		for _, o := range g.Objects {
+			if o == object {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Advise computes a placement plan for the given per-object statistics.
+func Advise(objects []metrics.ObjectCounters, totalDies int, opts AdvisorOptions) PlacementPlan {
+	opts = opts.withDefaults(totalDies)
+	if len(objects) == 0 || opts.TotalDies <= 0 {
+		return PlacementPlan{TotalDies: opts.TotalDies}
+	}
+
+	var totalIO, totalSize float64
+	for _, o := range objects {
+		totalIO += float64(o.Reads + o.Writes + o.Appends)
+		totalSize += float64(o.SizePages)
+	}
+	if totalIO == 0 {
+		totalIO = 1
+	}
+	if totalSize == 0 {
+		totalSize = 1
+	}
+
+	type classified struct {
+		metrics.ObjectCounters
+		profile   AccessProfile
+		ioShare   float64
+		sizeShare float64
+	}
+	cls := make([]classified, 0, len(objects))
+	for _, o := range objects {
+		c := classified{ObjectCounters: o}
+		c.ioShare = float64(o.Reads+o.Writes+o.Appends) / totalIO
+		c.sizeShare = float64(o.SizePages) / totalSize
+		c.profile = classify(o, c.ioShare)
+		cls = append(cls, c)
+	}
+
+	// Group: metadata + append-only objects share one region; every object
+	// whose I/O share exceeds the dedicated threshold gets its own region;
+	// the rest are grouped by profile.
+	groups := map[string]*PlacementGroup{}
+	order := []string{}
+	add := func(key string, profile AccessProfile, c classified) {
+		g, ok := groups[key]
+		if !ok {
+			g = &PlacementGroup{Profile: profile}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.Objects = append(g.Objects, c.Name)
+		g.IOShare += c.ioShare
+		g.SizeShare += c.sizeShare
+	}
+	for _, c := range cls {
+		switch {
+		case c.profile == ProfileMetadata,
+			c.profile == ProfileAppendOnly && c.ioShare < opts.DedicatedShare:
+			// Metadata and small append-only objects (HISTORY, the WAL)
+			// share the metadata region; a large, I/O-intensive append-only
+			// object (e.g. ORDERLINE) deserves its own region instead.
+			add("meta", ProfileAppendOnly, c)
+		case c.ioShare >= opts.DedicatedShare:
+			add("solo:"+c.Name, c.profile, c)
+		default:
+			add("profile:"+string(c.profile), c.profile, c)
+		}
+	}
+
+	// Order groups: metadata first (to mirror Figure 2's region 0), then by
+	// descending I/O share.
+	sort.SliceStable(order, func(i, j int) bool {
+		if (order[i] == "meta") != (order[j] == "meta") {
+			return order[i] == "meta"
+		}
+		return groups[order[i]].IOShare > groups[order[j]].IOShare
+	})
+
+	// Enforce the region budget by merging the smallest non-metadata groups.
+	for len(order) > opts.MaxRegions {
+		smallest, second := -1, -1
+		for i := len(order) - 1; i >= 0; i-- {
+			if order[i] == "meta" {
+				continue
+			}
+			if smallest < 0 {
+				smallest = i
+			} else if second < 0 {
+				second = i
+				break
+			}
+		}
+		if smallest < 0 || second < 0 {
+			break
+		}
+		dst, src := groups[order[second]], groups[order[smallest]]
+		dst.Objects = append(dst.Objects, src.Objects...)
+		dst.IOShare += src.IOShare
+		dst.SizeShare += src.SizeShare
+		order = append(order[:smallest], order[smallest+1:]...)
+	}
+
+	// Allocate dies proportionally to the blended weight, at least one each.
+	plan := PlacementPlan{TotalDies: opts.TotalDies}
+	weights := make([]float64, len(order))
+	var totalWeight float64
+	for i, key := range order {
+		g := groups[key]
+		weights[i] = opts.IOWeight*g.IOShare + (1-opts.IOWeight)*g.SizeShare
+		if weights[i] <= 0 {
+			weights[i] = 1e-6
+		}
+		totalWeight += weights[i]
+	}
+	remaining := opts.TotalDies - len(order) // one die is granted to each group up front
+	if remaining < 0 {
+		remaining = 0
+	}
+	dies := make([]int, len(order))
+	assigned := 0
+	for i := range order {
+		dies[i] = 1 + int(float64(remaining)*weights[i]/totalWeight)
+		assigned += dies[i]
+	}
+	// Fix rounding drift by adjusting the largest groups.
+	for assigned < opts.TotalDies {
+		i := maxWeightIndex(weights)
+		dies[i]++
+		assigned++
+	}
+	for assigned > opts.TotalDies {
+		i := maxDieIndex(dies)
+		if dies[i] <= 1 {
+			break
+		}
+		dies[i]--
+		assigned--
+	}
+
+	for i, key := range order {
+		g := groups[key]
+		g.Name = fmt.Sprintf("rg%d", i)
+		g.Dies = dies[i]
+		sort.Strings(g.Objects)
+		plan.Groups = append(plan.Groups, *g)
+	}
+	return plan
+}
+
+// classify assigns an access profile from the raw counters.
+func classify(o metrics.ObjectCounters, ioShare float64) AccessProfile {
+	total := o.Reads + o.Writes + o.Appends
+	if o.Kind == "meta" || o.Kind == "log" || o.Kind == "catalog" {
+		return ProfileMetadata
+	}
+	if total == 0 {
+		return ProfileCold
+	}
+	appendShare := float64(o.Appends) / float64(total)
+	writeShare := float64(o.Writes) / float64(total)
+	readShare := float64(o.Reads) / float64(total)
+	switch {
+	case appendShare > 0.6:
+		return ProfileAppendOnly
+	case ioShare < 0.01:
+		return ProfileCold
+	case writeShare > 0.4:
+		return ProfileWriteHot
+	case readShare > 0.9:
+		return ProfileReadMostly
+	default:
+		return ProfileMixed
+	}
+}
+
+func maxWeightIndex(w []float64) int {
+	best := 0
+	for i := range w {
+		if w[i] > w[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxDieIndex(d []int) int {
+	best := 0
+	for i := range d {
+		if d[i] > d[best] {
+			best = i
+		}
+	}
+	return best
+}

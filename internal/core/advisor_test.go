@@ -1,0 +1,201 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"noftl/internal/metrics"
+)
+
+// tpccLikeStats fabricates per-object statistics with the qualitative shape
+// of a TPC-C run: ORDERLINE and STOCK write-hot and large, CUSTOMER mixed,
+// ITEM/WAREHOUSE/DISTRICT read-mostly and small, HISTORY append-only,
+// DBMS metadata tiny.
+func tpccLikeStats() []metrics.ObjectCounters {
+	return []metrics.ObjectCounters{
+		{Name: "ORDERLINE", Kind: "table", Reads: 900_000, Writes: 800_000, SizePages: 90_000},
+		{Name: "STOCK", Kind: "table", Reads: 1_200_000, Writes: 700_000, SizePages: 120_000},
+		{Name: "OL_IDX", Kind: "index", Reads: 800_000, Writes: 500_000, SizePages: 40_000},
+		{Name: "CUSTOMER", Kind: "table", Reads: 700_000, Writes: 250_000, SizePages: 80_000},
+		{Name: "ORDER", Kind: "table", Reads: 150_000, Writes: 120_000, SizePages: 15_000},
+		{Name: "NEW_ORDER", Kind: "table", Reads: 100_000, Writes: 110_000, SizePages: 3_000},
+		{Name: "O_IDX", Kind: "index", Reads: 90_000, Writes: 60_000, SizePages: 5_000},
+		{Name: "NO_IDX", Kind: "index", Reads: 70_000, Writes: 60_000, SizePages: 2_000},
+		{Name: "O_CUST_IDX", Kind: "index", Reads: 60_000, Writes: 50_000, SizePages: 3_000},
+		{Name: "C_IDX", Kind: "index", Reads: 200_000, Writes: 15_000, SizePages: 8_000},
+		{Name: "S_IDX", Kind: "index", Reads: 250_000, Writes: 10_000, SizePages: 9_000},
+		{Name: "I_IDX", Kind: "index", Reads: 180_000, Writes: 0, SizePages: 6_000},
+		{Name: "W_IDX", Kind: "index", Reads: 50_000, Writes: 100, SizePages: 100},
+		{Name: "D_IDX", Kind: "index", Reads: 50_000, Writes: 100, SizePages: 100},
+		{Name: "C_NAME_IDX", Kind: "index", Reads: 90_000, Writes: 15_000, SizePages: 7_000},
+		{Name: "ITEM", Kind: "table", Reads: 400_000, Writes: 0, SizePages: 10_000},
+		{Name: "WAREHOUSE", Kind: "table", Reads: 120_000, Writes: 40_000, SizePages: 50},
+		{Name: "DISTRICT", Kind: "table", Reads: 130_000, Writes: 45_000, SizePages: 60},
+		{Name: "HISTORY", Kind: "table", Reads: 1_000, Writes: 0, Appends: 120_000, SizePages: 12_000},
+		{Name: "DBMS-metadata", Kind: "meta", Reads: 5_000, Writes: 2_000, SizePages: 200},
+		{Name: "WAL", Kind: "log", Reads: 100, Writes: 90_000, Appends: 90_000, SizePages: 4_000},
+	}
+}
+
+func TestAdviseProducesPaperShapedPlan(t *testing.T) {
+	objs := tpccLikeStats()
+	plan := Advise(objs, 64, AdvisorOptions{MaxRegions: 6})
+
+	if len(plan.Groups) == 0 || len(plan.Groups) > 6 {
+		t.Fatalf("plan has %d groups, want 1..6", len(plan.Groups))
+	}
+	if plan.TotalDies != 64 {
+		t.Fatalf("plan dies = %d", plan.TotalDies)
+	}
+	// Die counts: every group gets at least one die and the total is exactly
+	// the device's die count.
+	sum := 0
+	for _, g := range plan.Groups {
+		if g.Dies < 1 {
+			t.Fatalf("group %q got %d dies", g.Name, g.Dies)
+		}
+		sum += g.Dies
+	}
+	if sum != 64 {
+		t.Fatalf("die total = %d, want 64", sum)
+	}
+	// Every object appears in exactly one group.
+	seen := map[string]int{}
+	for _, g := range plan.Groups {
+		for _, o := range g.Objects {
+			seen[o]++
+		}
+	}
+	for _, o := range objs {
+		if seen[o.Name] != 1 {
+			t.Fatalf("object %s placed %d times", o.Name, seen[o.Name])
+		}
+	}
+	// The metadata/append-only group exists, is placed first and is small,
+	// mirroring Figure 2's region 0 (DBMS-metadata; HISTORY on 2 dies).
+	first := plan.Groups[0]
+	if first.Profile != ProfileAppendOnly && first.Profile != ProfileMetadata {
+		t.Fatalf("first group profile = %s", first.Profile)
+	}
+	if plan.GroupOf("DBMS-metadata") != 0 || plan.GroupOf("HISTORY") != 0 {
+		t.Fatalf("metadata/HISTORY not grouped together: %d %d",
+			plan.GroupOf("DBMS-metadata"), plan.GroupOf("HISTORY"))
+	}
+	if first.Dies > 8 {
+		t.Fatalf("metadata region got %d dies; should be small", first.Dies)
+	}
+	// The hottest large objects (STOCK, ORDERLINE) must sit in large regions:
+	// larger than the metadata region.
+	for _, name := range []string{"STOCK", "ORDERLINE"} {
+		gi := plan.GroupOf(name)
+		if gi < 0 {
+			t.Fatalf("%s not placed", name)
+		}
+		if plan.Groups[gi].Dies <= first.Dies {
+			t.Fatalf("%s region has %d dies, not larger than metadata region (%d)",
+				name, plan.Groups[gi].Dies, first.Dies)
+		}
+	}
+	// Hot objects and cold objects must not share a region.
+	if plan.GroupOf("ORDERLINE") == plan.GroupOf("ITEM") {
+		t.Fatal("hot ORDERLINE and cold ITEM ended up in the same region")
+	}
+	// The rendered table mentions every region and the die counts.
+	table := plan.TableString()
+	for _, g := range plan.Groups {
+		if !strings.Contains(table, g.Objects[0]) {
+			t.Fatalf("table missing object %s:\n%s", g.Objects[0], table)
+		}
+	}
+	// RegionSpecs mirror the groups.
+	specs := plan.RegionSpecs()
+	if len(specs) != len(plan.Groups) {
+		t.Fatalf("specs = %d, groups = %d", len(specs), len(plan.Groups))
+	}
+	for i, s := range specs {
+		if s.MaxChips != plan.Groups[i].Dies || s.Name == "" {
+			t.Fatalf("spec %d does not match group: %+v", i, s)
+		}
+	}
+}
+
+func TestAdviseRespectsMaxRegions(t *testing.T) {
+	objs := tpccLikeStats()
+	for _, maxR := range []int{2, 3, 4, 6, 8} {
+		plan := Advise(objs, 32, AdvisorOptions{MaxRegions: maxR})
+		if len(plan.Groups) > maxR {
+			t.Fatalf("maxRegions=%d produced %d groups", maxR, len(plan.Groups))
+		}
+		sum := 0
+		for _, g := range plan.Groups {
+			sum += g.Dies
+		}
+		if sum != 32 {
+			t.Fatalf("maxRegions=%d allocated %d dies, want 32", maxR, sum)
+		}
+	}
+}
+
+func TestAdviseEdgeCases(t *testing.T) {
+	// No objects.
+	plan := Advise(nil, 8, AdvisorOptions{})
+	if len(plan.Groups) != 0 {
+		t.Fatalf("empty input produced groups: %+v", plan.Groups)
+	}
+	// One object takes every die.
+	plan = Advise([]metrics.ObjectCounters{{Name: "T", Kind: "table", Reads: 10, Writes: 10, SizePages: 10}}, 8, AdvisorOptions{})
+	if len(plan.Groups) != 1 || plan.Groups[0].Dies != 8 {
+		t.Fatalf("single object plan wrong: %+v", plan.Groups)
+	}
+	// Objects with zero I/O still get placed (cold profile).
+	plan = Advise([]metrics.ObjectCounters{
+		{Name: "A", Kind: "table"},
+		{Name: "B", Kind: "table"},
+	}, 4, AdvisorOptions{})
+	if plan.GroupOf("A") < 0 || plan.GroupOf("B") < 0 {
+		t.Fatalf("cold objects not placed: %+v", plan.Groups)
+	}
+	// More groups than dies: die counts stay >= 1 and the budget is not
+	// exceeded by more than the forced minimum.
+	many := []metrics.ObjectCounters{}
+	for _, n := range []string{"A", "B", "C", "D"} {
+		many = append(many, metrics.ObjectCounters{Name: n, Kind: "table", Reads: 1000, Writes: 1000, SizePages: 100})
+	}
+	plan = Advise(many, 2, AdvisorOptions{MaxRegions: 4})
+	total := 0
+	for _, g := range plan.Groups {
+		if g.Dies < 1 {
+			t.Fatalf("group with zero dies: %+v", g)
+		}
+		total += g.Dies
+	}
+	if total < 2 {
+		t.Fatalf("allocated %d dies for a 2-die budget", total)
+	}
+	// GroupOf for an unknown object.
+	if plan.GroupOf("nope") != -1 {
+		t.Fatal("GroupOf unknown object should be -1")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in   metrics.ObjectCounters
+		io   float64
+		want AccessProfile
+	}{
+		{metrics.ObjectCounters{Kind: "meta", Reads: 1}, 0.5, ProfileMetadata},
+		{metrics.ObjectCounters{Kind: "log", Writes: 100}, 0.5, ProfileMetadata},
+		{metrics.ObjectCounters{Kind: "table"}, 0, ProfileCold},
+		{metrics.ObjectCounters{Kind: "table", Appends: 100, Reads: 10}, 0.2, ProfileAppendOnly},
+		{metrics.ObjectCounters{Kind: "table", Reads: 50, Writes: 50}, 0.2, ProfileWriteHot},
+		{metrics.ObjectCounters{Kind: "table", Reads: 100, Writes: 1}, 0.2, ProfileReadMostly},
+		{metrics.ObjectCounters{Kind: "table", Reads: 70, Writes: 30}, 0.2, ProfileMixed},
+		{metrics.ObjectCounters{Kind: "table", Reads: 70, Writes: 30}, 0.001, ProfileCold},
+	}
+	for i, c := range cases {
+		if got := classify(c.in, c.io); got != c.want {
+			t.Errorf("case %d: classify = %s, want %s", i, got, c.want)
+		}
+	}
+}

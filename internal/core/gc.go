@@ -1,0 +1,173 @@
+package core
+
+import (
+	"noftl/internal/flash"
+	"noftl/internal/sim"
+)
+
+// collectDie runs garbage collection on one die until the die's free-block
+// count is above the low-water mark or no further space can be reclaimed.
+// The work (copybacks and erases) is issued against the flash device in the
+// caller's virtual time, so a foreground write that triggers GC pays for it —
+// this is the GC interference that the paper's multi-region placement
+// reduces.  Caller holds m.mu.
+func (m *Manager) collectDie(now sim.Time, r *Region, da *dieAlloc) sim.Time {
+	pagesPerBlock := m.geo.PagesPerBlock
+	for da.freeCount() <= m.opts.GCLowWaterBlocks {
+		victim := m.pickVictim(da)
+		if victim < 0 {
+			break
+		}
+		r.gcRuns++
+		now = m.relocateAndErase(now, r, da, victim, pagesPerBlock)
+	}
+	if m.opts.WearLevelDelta > 0 {
+		now = m.maybeWearLevel(now, r, da, pagesPerBlock)
+	}
+	return now
+}
+
+// pickVictim chooses the closed block with the fewest valid pages (greedy
+// policy).  Blocks that are completely valid are never picked because
+// collecting them reclaims nothing.  It returns -1 when no block qualifies.
+// Caller holds m.mu.
+func (m *Manager) pickVictim(da *dieAlloc) int {
+	best := -1
+	bestValid := m.geo.PagesPerBlock // must be strictly better than "all valid"
+	for i := range da.blocks {
+		blk := &da.blocks[i]
+		if blk.state != blkClosed {
+			continue
+		}
+		if i == da.hostOpen || i == da.gcOpen {
+			continue
+		}
+		if blk.validCount < bestValid {
+			bestValid = blk.validCount
+			best = i
+		}
+	}
+	return best
+}
+
+// relocateAndErase moves the victim's still-valid pages to the die's GC open
+// block using the on-die copyback command, then erases the victim and returns
+// it to the free list.  Caller holds m.mu.
+func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim int, pagesPerBlock int) sim.Time {
+	vblk := &da.blocks[victim]
+	for page := 0; page < pagesPerBlock && vblk.validCount > 0; page++ {
+		if !vblk.valid[page] {
+			continue
+		}
+		dst, ok := m.gcSlot(da)
+		if !ok {
+			// No space to relocate into: give up on this victim (it stays
+			// closed and keeps its valid pages).
+			break
+		}
+		src := ppa{Die: da.die, Block: victim, Page: page}
+		dstAddr := ppa{Die: da.die, Block: dst.block, Page: dst.page}
+		meta, done, err := m.dev.Copyback(now, src, dstAddr)
+		if err != nil {
+			// The device refused (worn-out destination, …).  Skip the page;
+			// it remains valid in the victim, which therefore cannot be
+			// erased this round.
+			dblk := &da.blocks[dst.block]
+			dblk.nextPage-- // release the reserved slot
+			continue
+		}
+		now = done
+		lpn := LPN(meta.LPN)
+		dblk := &da.blocks[dst.block]
+		dblk.lpns[dst.page] = lpn
+		dblk.valid[dst.page] = true
+		dblk.validCount++
+		if dblk.nextPage >= pagesPerBlock {
+			dblk.state = blkClosed
+			if da.gcOpen == dst.block {
+				da.gcOpen = -1
+			}
+		}
+		// Redirect the logical page to its new physical home.
+		m.mapping[lpn] = mapEntry{addr: dstAddr, region: m.dieOwner[da.die]}
+		vblk.valid[page] = false
+		vblk.validCount--
+		r.gcCopybacks++
+	}
+	if vblk.validCount > 0 {
+		// Could not fully clean the victim; leave it closed.
+		return now
+	}
+	done, err := m.dev.EraseBlock(now, flash.BlockAddr{Die: da.die, Block: victim})
+	if err != nil {
+		// A worn-out block stays out of circulation: mark it closed with no
+		// valid pages so it is never picked again.
+		vblk.state = blkClosed
+		return now
+	}
+	now = done
+	vblk.reset(pagesPerBlock)
+	vblk.eraseCount++
+	da.freeBlocks = append(da.freeBlocks, victim)
+	r.gcErases++
+	return now
+}
+
+// gcSlot returns the next page slot of the die's GC open block, opening a new
+// one from the free list when necessary.  GC may dip into the reserve blocks
+// that host writes are not allowed to touch.  Caller holds m.mu.
+func (m *Manager) gcSlot(da *dieAlloc) (slotRef, bool) {
+	if da.gcOpen < 0 || da.blocks[da.gcOpen].nextPage >= m.geo.PagesPerBlock {
+		idx := m.popFreeBlock(da)
+		if idx < 0 {
+			return slotRef{}, false
+		}
+		da.blocks[idx].state = blkOpen
+		da.gcOpen = idx
+	}
+	blk := &da.blocks[da.gcOpen]
+	slot := slotRef{block: da.gcOpen, page: blk.nextPage}
+	blk.nextPage++
+	return slot, true
+}
+
+// maybeWearLevel performs static wear leveling: when the spread between the
+// most- and least-worn block of the die exceeds the configured delta, the
+// coldest block (least worn, typically holding static data) is relocated and
+// erased so that its low-wear cells re-enter circulation.  Caller holds m.mu.
+func (m *Manager) maybeWearLevel(now sim.Time, r *Region, da *dieAlloc, pagesPerBlock int) sim.Time {
+	var minE, maxE int64
+	minIdx := -1
+	first := true
+	for i := range da.blocks {
+		ec := da.blocks[i].eraseCount
+		if first {
+			minE, maxE = ec, ec
+			first = false
+		}
+		if ec < minE {
+			minE = ec
+		}
+		if ec > maxE {
+			maxE = ec
+		}
+		if da.blocks[i].state == blkClosed && i != da.hostOpen && i != da.gcOpen {
+			if minIdx < 0 || da.blocks[i].eraseCount < da.blocks[minIdx].eraseCount {
+				minIdx = i
+			}
+		}
+	}
+	if minIdx < 0 || maxE-minE <= m.opts.WearLevelDelta {
+		return now
+	}
+	if da.blocks[minIdx].eraseCount > minE+m.opts.WearLevelDelta/2 {
+		// The coldest closed block is not actually among the least worn.
+		return now
+	}
+	before := r.gcErases
+	now = m.relocateAndErase(now, r, da, minIdx, pagesPerBlock)
+	if r.gcErases > before {
+		r.wlMoves++
+	}
+	return now
+}

@@ -1,0 +1,739 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"noftl/internal/flash"
+	"noftl/internal/sim"
+)
+
+// Options configure the space manager.
+type Options struct {
+	// Mode selects between region-aware placement and the traditional
+	// (uniform, hint-ignoring) placement baseline.
+	Mode PlacementMode
+	// OverprovisionPct is the fraction of each region's raw capacity that is
+	// withheld from the logical capacity so that garbage collection always
+	// finds reclaimable blocks.  Default 0.12.
+	OverprovisionPct float64
+	// GCLowWaterBlocks is the per-die number of free blocks below which
+	// allocation triggers garbage collection.  Default 3.
+	GCLowWaterBlocks int
+	// GCReserveBlocks is the per-die number of free blocks reserved for
+	// garbage collection itself; host writes never consume them.  Default 1.
+	GCReserveBlocks int
+	// WearLevelDelta is the difference between the most- and least-worn
+	// block of a die above which static wear leveling kicks in during GC.
+	// Zero disables static wear leveling.  Default 64.
+	WearLevelDelta int64
+	// DisableSpill turns off the spill-over behaviour: normally, when the
+	// region named by a write hint has exhausted its logical capacity, the
+	// write is placed in the default region instead (and counted as a
+	// spill), mirroring how a DBMS falls back to a different tablespace
+	// rather than failing the transaction.  With DisableSpill the write
+	// fails with ErrRegionFull.
+	DisableSpill bool
+}
+
+// DefaultOptions returns the defaults described on each field.
+func DefaultOptions() Options {
+	return Options{
+		Mode:             PlacementRegions,
+		OverprovisionPct: 0.12,
+		GCLowWaterBlocks: 3,
+		GCReserveBlocks:  1,
+		WearLevelDelta:   64,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.OverprovisionPct <= 0 || o.OverprovisionPct >= 0.9 {
+		o.OverprovisionPct = 0.12
+	}
+	if o.GCLowWaterBlocks <= 0 {
+		o.GCLowWaterBlocks = 3
+	}
+	if o.GCReserveBlocks <= 0 {
+		o.GCReserveBlocks = 1
+	}
+	if o.GCReserveBlocks >= o.GCLowWaterBlocks {
+		o.GCLowWaterBlocks = o.GCReserveBlocks + 2
+	}
+	return o
+}
+
+// block lifecycle states tracked by the manager (the device itself only knows
+// erased/programmed pages).
+type blockState uint8
+
+const (
+	blkFree blockState = iota // fully erased, on the free list
+	blkOpen                   // currently receiving writes (host or GC)
+	blkClosed                 // fully programmed or retired from writing
+)
+
+// blockInfo is the manager-side bookkeeping for one erase block.
+type blockInfo struct {
+	state      blockState
+	validCount int
+	nextPage   int
+	eraseCount int64
+	lpns       []LPN
+	valid      []bool
+}
+
+func (b *blockInfo) reset(pagesPerBlock int) {
+	b.state = blkFree
+	b.validCount = 0
+	b.nextPage = 0
+	if b.lpns == nil {
+		b.lpns = make([]LPN, pagesPerBlock)
+		b.valid = make([]bool, pagesPerBlock)
+		return
+	}
+	for i := range b.valid {
+		b.valid[i] = false
+		b.lpns[i] = 0
+	}
+}
+
+// dieAlloc is the per-die allocation state: free blocks, the open block
+// receiving host writes and the open block receiving GC copybacks.
+type dieAlloc struct {
+	die        int
+	regionID   RegionID
+	blocks     []blockInfo
+	freeBlocks []int // indexes of blocks in state blkFree
+	hostOpen   int   // block index, -1 if none
+	gcOpen     int   // block index, -1 if none
+}
+
+func (da *dieAlloc) freeCount() int { return len(da.freeBlocks) }
+
+// totalFreePages counts pages still programmable on the die (free blocks plus
+// the remainder of the open blocks).
+func (da *dieAlloc) totalFreePages(pagesPerBlock int) int64 {
+	n := int64(len(da.freeBlocks)) * int64(pagesPerBlock)
+	if da.hostOpen >= 0 {
+		n += int64(pagesPerBlock - da.blocks[da.hostOpen].nextPage)
+	}
+	if da.gcOpen >= 0 {
+		n += int64(pagesPerBlock - da.blocks[da.gcOpen].nextPage)
+	}
+	return n
+}
+
+// mapEntry records where a logical page currently lives.
+type mapEntry struct {
+	addr   ppa
+	region RegionID
+}
+
+// Manager is the NoFTL space manager: it owns the native flash device,
+// manages regions, performs logical-to-physical address translation with
+// out-of-place updates, and runs garbage collection and wear leveling per
+// region using DBMS-side knowledge.
+type Manager struct {
+	mu   sync.Mutex
+	dev  *flash.Device
+	geo  flash.Geometry
+	opts Options
+
+	regions     map[string]*Region
+	regionsByID map[RegionID]*Region
+	nextRegion  RegionID
+
+	dieOwner []RegionID // region owning each die
+	dies     []*dieAlloc
+
+	mapping map[LPN]mapEntry
+	nextLPN LPN
+	seq     uint64 // monotonically increasing write sequence for OOB metadata
+}
+
+// NewManager creates a space manager over dev.  Initially a single region
+// named DEFAULT owns every die, which is exactly the traditional placement
+// configuration; CreateRegion carves further regions out of the default one.
+func NewManager(dev *flash.Device, opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		dev:         dev,
+		geo:         dev.Geometry(),
+		opts:        opts,
+		regions:     make(map[string]*Region),
+		regionsByID: make(map[RegionID]*Region),
+		mapping:     make(map[LPN]mapEntry),
+		nextLPN:     1,
+		nextRegion:  DefaultRegionID + 1,
+	}
+	nDies := m.geo.Dies()
+	m.dieOwner = make([]RegionID, nDies)
+	m.dies = make([]*dieAlloc, nDies)
+	for i := 0; i < nDies; i++ {
+		da := &dieAlloc{die: i, regionID: DefaultRegionID, hostOpen: -1, gcOpen: -1}
+		da.blocks = make([]blockInfo, m.geo.BlocksPerDie)
+		da.freeBlocks = make([]int, 0, m.geo.BlocksPerDie)
+		for b := 0; b < m.geo.BlocksPerDie; b++ {
+			da.blocks[b].reset(m.geo.PagesPerBlock)
+			da.freeBlocks = append(da.freeBlocks, b)
+		}
+		m.dies[i] = da
+	}
+
+	def := newRegion(DefaultRegionID, DefaultRegionName)
+	allDies := make([]int, nDies)
+	for i := range allDies {
+		allDies[i] = i
+	}
+	def.dies = allDies
+	m.regions[def.name] = def
+	m.regionsByID[def.id] = def
+	m.recomputeCapacity(def)
+	return m
+}
+
+// Device returns the underlying flash device.
+func (m *Manager) Device() *flash.Device { return m.dev }
+
+// Mode returns the placement mode the manager was created with.
+func (m *Manager) Mode() PlacementMode { return m.opts.Mode }
+
+// Options returns the effective options.
+func (m *Manager) Options() Options { return m.opts }
+
+// recomputeCapacity updates the exported logical capacity of a region from
+// its die set, over-provisioning and MAX_SIZE limit.  Caller holds m.mu (or
+// is the constructor).
+func (m *Manager) recomputeCapacity(r *Region) {
+	raw := int64(len(r.dies)) * int64(m.geo.PagesPerDie())
+	capPages := int64(float64(raw) * (1 - m.opts.OverprovisionPct))
+	if r.maxSizePages > 0 && r.maxSizePages < capPages {
+		capPages = r.maxSizePages
+	}
+	r.capacityPages = capPages
+}
+
+// DefaultRegion returns the default region.
+func (m *Manager) DefaultRegion() *Region {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.regionsByID[DefaultRegionID]
+}
+
+// Region returns the region with the given name.
+func (m *Manager) Region(name string) (*Region, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[name]
+	return r, ok
+}
+
+// RegionByID returns the region with the given id.
+func (m *Manager) RegionByID(id RegionID) (*Region, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regionsByID[id]
+	return r, ok
+}
+
+// Regions returns the names of all regions, default region first, then in
+// creation order.
+func (m *Manager) Regions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.regions))
+	ids := make([]RegionID, 0, len(m.regions))
+	for id := range m.regionsByID {
+		ids = append(ids, id)
+	}
+	// selection sort by id to keep creation order; region count is tiny.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		names = append(names, m.regionsByID[id].name)
+	}
+	return names
+}
+
+// CreateRegion carves a new region out of the default region according to
+// spec.  Only dies that currently hold no valid data can move to the new
+// region, so regions are normally created right after the device is opened,
+// before objects are loaded (online region re-organisation with data
+// migration is future work, see DESIGN.md).
+func (m *Manager) CreateRegion(spec RegionSpec) (*Region, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.regions[spec.Name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrRegionExists, spec.Name)
+	}
+	def := m.regionsByID[DefaultRegionID]
+
+	var chosen []int
+	if len(spec.Dies) > 0 {
+		for _, d := range spec.Dies {
+			if d < 0 || d >= m.geo.Dies() {
+				return nil, fmt.Errorf("%w: die %d out of range", ErrInvalidSpec, d)
+			}
+			if m.dieOwner[d] != DefaultRegionID {
+				return nil, fmt.Errorf("%w: die %d already belongs to region %d", ErrNoDiesAvailable, d, m.dieOwner[d])
+			}
+			if !m.dieEmpty(d) {
+				return nil, fmt.Errorf("%w: die %d holds valid data", ErrNoDiesAvailable, d)
+			}
+			chosen = append(chosen, d)
+		}
+	} else {
+		chosen = m.selectDies(spec.MaxChips, spec.MaxChannels)
+		if len(chosen) < spec.MaxChips {
+			return nil, fmt.Errorf("%w: requested %d dies, only %d empty dies in the default region",
+				ErrNoDiesAvailable, spec.MaxChips, len(chosen))
+		}
+	}
+
+	r := newRegion(m.nextRegion, spec.Name)
+	m.nextRegion++
+	r.dies = sortedCopy(chosen)
+	if spec.MaxSizeBytes > 0 {
+		r.maxSizePages = spec.MaxSizeBytes / int64(m.geo.PageSize)
+	}
+	for _, d := range chosen {
+		m.dieOwner[d] = r.id
+		m.dies[d].regionID = r.id
+	}
+	// Remove the chosen dies from the default region.
+	def.dies = removeDies(def.dies, chosen)
+	m.recomputeCapacity(def)
+	m.recomputeCapacity(r)
+
+	m.regions[r.name] = r
+	m.regionsByID[r.id] = r
+	return r, nil
+}
+
+// dieEmpty reports whether a die holds no valid pages.  Caller holds m.mu.
+func (m *Manager) dieEmpty(die int) bool {
+	da := m.dies[die]
+	for b := range da.blocks {
+		if da.blocks[b].validCount > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// selectDies picks up to n empty dies from the default region, spreading them
+// over at most maxChannels channels (0 = unlimited).  Caller holds m.mu.
+func (m *Manager) selectDies(n, maxChannels int) []int {
+	def := m.regionsByID[DefaultRegionID]
+	usedChannels := make(map[int]bool)
+	var chosen []int
+	// First pass: favour spreading across channels round-robin so a region
+	// gets the full channel parallelism its MAX_CHANNELS allows.
+	for len(chosen) < n {
+		progress := false
+		for _, d := range def.dies {
+			if len(chosen) >= n {
+				break
+			}
+			if containsInt(chosen, d) || !m.dieEmpty(d) {
+				continue
+			}
+			ch := m.geo.ChannelOfDie(d)
+			if maxChannels > 0 && !usedChannels[ch] && len(usedChannels) >= maxChannels {
+				continue
+			}
+			if usedChannels[ch] && !allChannelsCovered(usedChannels, maxChannels, m.geo.Channels) {
+				// Prefer a die on a not-yet-used channel if one is still
+				// available in this pass.
+				if m.emptyDieOnFreshChannel(def.dies, chosen, usedChannels, maxChannels) {
+					continue
+				}
+			}
+			chosen = append(chosen, d)
+			usedChannels[ch] = true
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return chosen
+}
+
+// emptyDieOnFreshChannel reports whether an empty, unchosen die exists on a
+// channel that has not been used yet and would still be admissible.
+func (m *Manager) emptyDieOnFreshChannel(candidates, chosen []int, used map[int]bool, maxChannels int) bool {
+	if maxChannels > 0 && len(used) >= maxChannels {
+		return false
+	}
+	for _, d := range candidates {
+		if containsInt(chosen, d) || !m.dieEmpty(d) {
+			continue
+		}
+		if !used[m.geo.ChannelOfDie(d)] {
+			return true
+		}
+	}
+	return false
+}
+
+func allChannelsCovered(used map[int]bool, maxChannels, totalChannels int) bool {
+	limit := totalChannels
+	if maxChannels > 0 && maxChannels < limit {
+		limit = maxChannels
+	}
+	return len(used) >= limit
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeDies(from []int, remove []int) []int {
+	out := from[:0]
+	for _, d := range from {
+		if !containsInt(remove, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DropRegion removes an empty region and returns its dies to the default
+// region.
+func (m *Manager) DropRegion(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRegion, name)
+	}
+	if r.id == DefaultRegionID {
+		return ErrDefaultRegion
+	}
+	if r.validPages > 0 {
+		return fmt.Errorf("%w: %q has %d valid pages", ErrRegionNotEmpty, name, r.validPages)
+	}
+	def := m.regionsByID[DefaultRegionID]
+	for _, d := range r.dies {
+		m.dieOwner[d] = DefaultRegionID
+		m.dies[d].regionID = DefaultRegionID
+	}
+	def.dies = sortedCopy(append(def.dies, r.dies...))
+	m.recomputeCapacity(def)
+	delete(m.regions, name)
+	delete(m.regionsByID, r.id)
+	return nil
+}
+
+// GrowRegion moves n additional empty dies from the default region into the
+// named region (the paper notes that the die set of a region is dynamic).
+func (m *Manager) GrowRegion(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRegion, name)
+	}
+	if r.id == DefaultRegionID {
+		return fmt.Errorf("%w: cannot grow the default region explicitly", ErrInvalidSpec)
+	}
+	chosen := m.selectDies(n, 0)
+	if len(chosen) < n {
+		return fmt.Errorf("%w: requested %d dies, found %d", ErrNoDiesAvailable, n, len(chosen))
+	}
+	def := m.regionsByID[DefaultRegionID]
+	for _, d := range chosen {
+		m.dieOwner[d] = r.id
+		m.dies[d].regionID = r.id
+	}
+	def.dies = removeDies(def.dies, chosen)
+	r.dies = sortedCopy(append(r.dies, chosen...))
+	m.recomputeCapacity(def)
+	m.recomputeCapacity(r)
+	return nil
+}
+
+// AllocateLPNs reserves n consecutive logical page numbers and returns the
+// first.  The storage layer uses this to number extents.
+func (m *Manager) AllocateLPNs(n int) LPN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := m.nextLPN
+	m.nextLPN += LPN(n)
+	return start
+}
+
+// resolveRegion maps a write hint to the target region under the current
+// placement mode.  Caller holds m.mu.
+func (m *Manager) resolveRegion(h Hint) *Region {
+	if m.opts.Mode == PlacementTraditional {
+		return m.regionsByID[DefaultRegionID]
+	}
+	if r, ok := m.regionsByID[h.Region]; ok {
+		return r
+	}
+	return m.regionsByID[DefaultRegionID]
+}
+
+// Mapped reports whether the logical page has a physical location.
+func (m *Manager) Mapped(lpn LPN) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.mapping[lpn]
+	return ok
+}
+
+// Locate returns the physical address a logical page currently maps to
+// (diagnostic/test helper).
+func (m *Manager) Locate(lpn LPN) (flash.Addr, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.mapping[lpn]
+	return e.addr, ok
+}
+
+// ReadPage reads the current version of the logical page into buf (which may
+// be nil to let the device allocate).  It returns the data, the virtual
+// completion time and an error if the page was never written.
+func (m *Manager) ReadPage(now sim.Time, lpn LPN, buf []byte) ([]byte, sim.Time, error) {
+	m.mu.Lock()
+	e, ok := m.mapping[lpn]
+	if !ok {
+		m.mu.Unlock()
+		return nil, now, fmt.Errorf("%w: lpn %d", ErrUnmappedPage, lpn)
+	}
+	r := m.regionsByID[m.dieOwner[e.addr.Die]]
+	r.hostReads++
+	m.mu.Unlock()
+
+	data, _, done, err := m.dev.ReadPage(now, e.addr, buf)
+	if err != nil {
+		return nil, done, err
+	}
+	r.readLat.Observe(done.Sub(now))
+	return data, done, nil
+}
+
+// WritePage writes (or overwrites) the logical page out of place in the
+// region selected by the hint.  The previous physical version, if any, is
+// invalidated.  Garbage collection may run synchronously as part of the call
+// when the target die runs out of free blocks; its cost is charged to the
+// caller's virtual time, exactly like foreground GC on a real device.
+func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Time, error) {
+	start := now
+	m.mu.Lock()
+	r := m.resolveRegion(h)
+
+	prev, remap := m.mapping[lpn]
+	// The write consumes a unit of the target region's logical capacity when
+	// the page is new to that region (first write, or a page whose previous
+	// version lives in a different region, e.g. after an earlier spill).
+	consumesCapacity := !remap || prev.region != r.id
+	if consumesCapacity && r.validPages >= r.capacityPages {
+		if m.opts.DisableSpill || r.id == DefaultRegionID {
+			m.mu.Unlock()
+			return now, fmt.Errorf("%w: %q (%d pages)", ErrRegionFull, r.name, r.capacityPages)
+		}
+		r.spills++
+		r = m.regionsByID[DefaultRegionID]
+		consumesCapacity = !remap || prev.region != r.id
+		if consumesCapacity && r.validPages >= r.capacityPages {
+			m.mu.Unlock()
+			return now, fmt.Errorf("%w: %q (%d pages)", ErrRegionFull, r.name, r.capacityPages)
+		}
+	}
+
+	da, slot, gcDone, err := m.allocateSlot(now, r)
+	if err != nil {
+		if !m.opts.DisableSpill && r.id != DefaultRegionID {
+			// The hinted region has raw space exhausted (e.g. GC cannot keep
+			// up); fall back to the default region.
+			r.spills++
+			r = m.regionsByID[DefaultRegionID]
+			da, slot, gcDone, err = m.allocateSlot(now, r)
+		}
+		if err != nil {
+			m.mu.Unlock()
+			return now, err
+		}
+	}
+	now = gcDone
+
+	addr := ppa{Die: da.die, Block: slot.block, Page: slot.page}
+	m.seq++
+	meta := flash.PageMeta{
+		LPN:      uint64(lpn),
+		ObjectID: h.ObjectID,
+		RegionID: uint32(r.id),
+		Seq:      m.seq,
+		Flags:    h.Flags,
+	}
+	done, err := m.dev.ProgramPage(now, addr, data, meta)
+	if err != nil {
+		// Roll back the slot reservation bookkeeping; the block page is
+		// still erased because the program failed.
+		blk := &da.blocks[slot.block]
+		blk.nextPage--
+		m.mu.Unlock()
+		return now, err
+	}
+
+	blk := &da.blocks[slot.block]
+	blk.lpns[slot.page] = lpn
+	blk.valid[slot.page] = true
+	blk.validCount++
+	if blk.nextPage >= m.geo.PagesPerBlock {
+		blk.state = blkClosed
+		if da.hostOpen == slot.block {
+			da.hostOpen = -1
+		}
+	}
+
+	old, had := m.mapping[lpn]
+	m.mapping[lpn] = mapEntry{addr: addr, region: r.id}
+	if had {
+		m.invalidate(old)
+		if old.region != r.id {
+			// The page migrated between regions (e.g. a spill, or a later
+			// write that returned home): transfer the valid-page accounting.
+			if or, ok := m.regionsByID[old.region]; ok && or.validPages > 0 {
+				or.validPages--
+			}
+			r.validPages++
+		}
+	} else {
+		r.validPages++
+	}
+	r.hostWrites++
+	// The observed write latency includes any synchronous GC work the write
+	// had to wait for, exactly what a host sees on a device doing foreground
+	// garbage collection.
+	r.writeLat.Observe(done.Sub(start))
+	m.mu.Unlock()
+	return done, nil
+}
+
+// invalidate marks the physical page at e as no longer holding current data.
+// Caller holds m.mu.
+func (m *Manager) invalidate(e mapEntry) {
+	da := m.dies[e.addr.Die]
+	blk := &da.blocks[e.addr.Block]
+	if blk.valid[e.addr.Page] {
+		blk.valid[e.addr.Page] = false
+		if blk.validCount > 0 {
+			blk.validCount--
+		}
+	}
+}
+
+// TrimPage drops the logical page entirely: its physical copy is invalidated
+// and the logical page becomes unmapped (used when objects are dropped or
+// truncated).
+func (m *Manager) TrimPage(lpn LPN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.mapping[lpn]
+	if !ok {
+		return fmt.Errorf("%w: lpn %d", ErrUnmappedPage, lpn)
+	}
+	m.invalidate(e)
+	delete(m.mapping, lpn)
+	if r, ok := m.regionsByID[e.region]; ok && r.validPages > 0 {
+		r.validPages--
+	}
+	return nil
+}
+
+// slotRef identifies the page slot handed out by allocateSlot.
+type slotRef struct {
+	block int
+	page  int
+}
+
+// allocateSlot picks the die (round-robin within the region) and the next
+// programmable page of that die's open block, opening a new block — and
+// garbage-collecting first if necessary — when needed.  It returns the die
+// allocation state, the slot, and the virtual time after any synchronous GC
+// work.  Caller holds m.mu.
+func (m *Manager) allocateSlot(now sim.Time, r *Region) (*dieAlloc, slotRef, sim.Time, error) {
+	if len(r.dies) == 0 {
+		return nil, slotRef{}, now, fmt.Errorf("%w: region %q has no dies", ErrRegionFull, r.name)
+	}
+	// Round-robin over the region's dies, skipping dies that cannot yield a
+	// slot even after GC.
+	for attempt := 0; attempt < len(r.dies); attempt++ {
+		die := r.dies[r.rr%len(r.dies)]
+		r.rr++
+		da := m.dies[die]
+
+		// Make sure the die has an open host block.
+		if da.hostOpen < 0 || da.blocks[da.hostOpen].nextPage >= m.geo.PagesPerBlock {
+			var gcTime sim.Time
+			var ok bool
+			gcTime, ok = m.openHostBlock(now, r, da)
+			if !ok {
+				continue
+			}
+			now = gcTime
+		}
+		blk := &da.blocks[da.hostOpen]
+		slot := slotRef{block: da.hostOpen, page: blk.nextPage}
+		blk.nextPage++
+		return da, slot, now, nil
+	}
+	return nil, slotRef{}, now, fmt.Errorf("%w: %q", ErrRegionFull, r.name)
+}
+
+// openHostBlock ensures da has an open block for host writes, running GC when
+// the free-block count is at or below the low-water mark.  It returns the
+// virtual time after any GC work and whether a block could be opened.
+// Caller holds m.mu.
+func (m *Manager) openHostBlock(now sim.Time, r *Region, da *dieAlloc) (sim.Time, bool) {
+	if da.freeCount() <= m.opts.GCLowWaterBlocks {
+		now = m.collectDie(now, r, da)
+	}
+	// Host writes must leave the GC reserve untouched.
+	if da.freeCount() <= m.opts.GCReserveBlocks {
+		return now, false
+	}
+	idx := m.popFreeBlock(da)
+	if idx < 0 {
+		return now, false
+	}
+	da.blocks[idx].state = blkOpen
+	da.hostOpen = idx
+	return now, true
+}
+
+// popFreeBlock removes and returns the least-worn free block of the die, or
+// -1 when none is free.  Preferring the least-worn block is the dynamic part
+// of wear leveling.  Caller holds m.mu.
+func (m *Manager) popFreeBlock(da *dieAlloc) int {
+	if len(da.freeBlocks) == 0 {
+		return -1
+	}
+	best := 0
+	for i, b := range da.freeBlocks {
+		if da.blocks[b].eraseCount < da.blocks[da.freeBlocks[best]].eraseCount {
+			best = i
+		}
+	}
+	idx := da.freeBlocks[best]
+	da.freeBlocks = append(da.freeBlocks[:best], da.freeBlocks[best+1:]...)
+	return idx
+}

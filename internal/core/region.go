@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"noftl/internal/metrics"
+)
+
+// RegionSpec describes a region to create, mirroring the paper's
+//
+//	CREATE REGION rgHotTbl (MAX_CHIPS=8, MAX_CHANNELS=4, MAX_SIZE=1280M);
+//
+// statement: the number of dies ("chips"), the maximum number of channels
+// those dies may span, and an optional cap on the logical size of the region.
+type RegionSpec struct {
+	// Name is the region name (unique, case-sensitive).
+	Name string
+	// MaxChips is the number of dies to assign to the region.
+	MaxChips int
+	// MaxChannels limits how many distinct channels the region's dies may
+	// span; zero means no limit.
+	MaxChannels int
+	// MaxSizeBytes caps the logical size of the region; zero means the
+	// region may use the full exported capacity of its dies.
+	MaxSizeBytes int64
+	// Dies optionally pins the region to these specific die indexes.  When
+	// non-empty it overrides MaxChips/MaxChannels-based selection.
+	Dies []int
+}
+
+// Validate reports whether the spec is well formed.
+func (s RegionSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: empty region name", ErrInvalidSpec)
+	}
+	if len(s.Dies) == 0 && s.MaxChips <= 0 {
+		return fmt.Errorf("%w: region %q needs MAX_CHIPS > 0 or an explicit die list", ErrInvalidSpec, s.Name)
+	}
+	if s.MaxChannels < 0 || s.MaxSizeBytes < 0 {
+		return fmt.Errorf("%w: region %q has negative limits", ErrInvalidSpec, s.Name)
+	}
+	return nil
+}
+
+// Region is a physical storage structure comprising a set of flash dies over
+// which the data placed in the region is evenly distributed.
+//
+// All mutable state is guarded by the owning Manager's mutex; Region values
+// handed out to callers must only be inspected through Manager.Stats or the
+// read-only accessors, which take snapshots.
+type Region struct {
+	id   RegionID
+	name string
+	dies []int // die indexes owned by this region, sorted
+
+	maxSizePages  int64 // 0 = unlimited (within die capacity)
+	capacityPages int64 // exported logical capacity (after over-provisioning)
+	validPages    int64 // logical pages currently mapped into this region
+
+	// statistics
+	hostReads   int64
+	hostWrites  int64
+	gcCopybacks int64
+	gcErases    int64
+	gcRuns      int64
+	wlMoves     int64
+	spills      int64 // writes redirected to the default region because this region was full
+	readLat     *metrics.Histogram
+	writeLat    *metrics.Histogram
+
+	rr int // round-robin cursor over dies for write placement
+}
+
+func newRegion(id RegionID, name string) *Region {
+	return &Region{
+		id:       id,
+		name:     name,
+		readLat:  metrics.NewHistogram(),
+		writeLat: metrics.NewHistogram(),
+	}
+}
+
+// ID returns the region's identifier.
+func (r *Region) ID() RegionID { return r.id }
+
+// Name returns the region's name.
+func (r *Region) Name() string { return r.name }
+
+// RegionStats is a read-only snapshot of a region's configuration and
+// counters.
+type RegionStats struct {
+	ID            RegionID
+	Name          string
+	Dies          []int
+	Channels      int
+	CapacityPages int64
+	ValidPages    int64
+	FreeBlocks    int
+	HostReads     int64
+	HostWrites    int64
+	GCCopybacks   int64
+	GCErases      int64
+	GCRuns        int64
+	WearMoves     int64
+	SpilledWrites int64
+	ReadLatency   metrics.Snapshot
+	WriteLatency  metrics.Snapshot
+	MinErase      int64
+	MaxErase      int64
+	TotalErase    int64
+}
+
+// WriteAmplification returns (host writes + GC copybacks) / host writes, the
+// standard flash write-amplification factor, or zero when no host writes
+// happened.
+func (s RegionStats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.HostWrites+s.GCCopybacks) / float64(s.HostWrites)
+}
+
+// String renders a one-line summary.
+func (s RegionStats) String() string {
+	return fmt.Sprintf("region %q (id %d): %d dies, %d/%d pages valid, reads=%d writes=%d copybacks=%d erases=%d",
+		s.Name, s.ID, len(s.Dies), s.ValidPages, s.CapacityPages,
+		s.HostReads, s.HostWrites, s.GCCopybacks, s.GCErases)
+}
+
+// sortedCopy returns a sorted copy of dies.
+func sortedCopy(dies []int) []int {
+	out := make([]int, len(dies))
+	copy(out, dies)
+	sort.Ints(out)
+	return out
+}

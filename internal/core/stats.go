@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"noftl/internal/metrics"
+)
+
+// Stats is a snapshot of the whole space manager: per-region statistics plus
+// device-wide totals.  All counters are cumulative since the last
+// ResetCounters call.
+type Stats struct {
+	Mode        PlacementMode
+	Regions     []RegionStats
+	HostReads   int64
+	HostWrites  int64
+	GCCopybacks int64
+	GCErases    int64
+	GCRuns      int64
+	WearMoves   int64
+	ValidPages  int64
+	// Device-level counters (include everything the regions did).
+	DeviceReads    int64
+	DevicePrograms int64
+	DeviceErases   int64
+	MinErase       int64
+	MaxErase       int64
+	TotalErase     int64
+}
+
+// WriteAmplification returns the device-wide write amplification factor.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.HostWrites+s.GCCopybacks) / float64(s.HostWrites)
+}
+
+// RegionByName returns the stats of the named region.
+func (s Stats) RegionByName(name string) (RegionStats, bool) {
+	for _, r := range s.Regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RegionStats{}, false
+}
+
+// String renders a multi-line report (used by the flashsim tool and tests).
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement mode: %s\n", s.Mode)
+	fmt.Fprintf(&b, "host reads=%d writes=%d  gc copybacks=%d erases=%d runs=%d  WA=%.2f\n",
+		s.HostReads, s.HostWrites, s.GCCopybacks, s.GCErases, s.GCRuns, s.WriteAmplification())
+	for _, r := range s.Regions {
+		fmt.Fprintf(&b, "  %s\n", r.String())
+	}
+	return b.String()
+}
+
+// Stats takes a snapshot of every region and of the device counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	dev := m.dev.Stats()
+	out := Stats{
+		Mode:           m.opts.Mode,
+		DeviceReads:    dev.Reads,
+		DevicePrograms: dev.Programs,
+		DeviceErases:   dev.Erases,
+	}
+
+	first := true
+	for _, name := range m.regionNamesLocked() {
+		r := m.regions[name]
+		rs := RegionStats{
+			ID:            r.id,
+			Name:          r.name,
+			Dies:          sortedCopy(r.dies),
+			CapacityPages: r.capacityPages,
+			ValidPages:    r.validPages,
+			HostReads:     r.hostReads,
+			HostWrites:    r.hostWrites,
+			GCCopybacks:   r.gcCopybacks,
+			GCErases:      r.gcErases,
+			GCRuns:        r.gcRuns,
+			WearMoves:     r.wlMoves,
+			SpilledWrites: r.spills,
+			ReadLatency:   r.readLat.Snapshot(),
+			WriteLatency:  r.writeLat.Snapshot(),
+		}
+		channels := make(map[int]bool)
+		regionMinE := int64(-1)
+		for _, d := range r.dies {
+			channels[m.geo.ChannelOfDie(d)] = true
+			da := m.dies[d]
+			rs.FreeBlocks += da.freeCount()
+			for i := range da.blocks {
+				ec := da.blocks[i].eraseCount
+				rs.TotalErase += ec
+				if ec > rs.MaxErase {
+					rs.MaxErase = ec
+				}
+				if regionMinE < 0 || ec < regionMinE {
+					regionMinE = ec
+				}
+			}
+		}
+		if regionMinE > 0 {
+			rs.MinErase = regionMinE
+		}
+		rs.Channels = len(channels)
+		out.Regions = append(out.Regions, rs)
+
+		out.HostReads += rs.HostReads
+		out.HostWrites += rs.HostWrites
+		out.GCCopybacks += rs.GCCopybacks
+		out.GCErases += rs.GCErases
+		out.GCRuns += rs.GCRuns
+		out.WearMoves += rs.WearMoves
+		out.ValidPages += rs.ValidPages
+		out.TotalErase += rs.TotalErase
+		if rs.MaxErase > out.MaxErase {
+			out.MaxErase = rs.MaxErase
+		}
+		if first || rs.MinErase < out.MinErase {
+			out.MinErase = rs.MinErase
+		}
+		first = false
+	}
+	return out
+}
+
+// regionNamesLocked returns region names ordered by region id.  Caller holds
+// m.mu.
+func (m *Manager) regionNamesLocked() []string {
+	ids := make([]RegionID, 0, len(m.regionsByID))
+	for id := range m.regionsByID {
+		ids = append(ids, id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	names := make([]string, 0, len(ids))
+	for _, id := range ids {
+		names = append(names, m.regionsByID[id].name)
+	}
+	return names
+}
+
+// ResetCounters clears all I/O and GC counters (per region and on the
+// device) while keeping the mapping, allocation state and wear intact.
+// Benchmarks call this after the warm-up phase.
+func (m *Manager) ResetCounters() {
+	m.mu.Lock()
+	for _, r := range m.regions {
+		r.hostReads, r.hostWrites = 0, 0
+		r.gcCopybacks, r.gcErases, r.gcRuns, r.wlMoves, r.spills = 0, 0, 0, 0, 0
+		r.readLat.Reset()
+		r.writeLat.Reset()
+	}
+	m.mu.Unlock()
+	m.dev.ResetCounters()
+}
+
+// LatencySnapshot aggregates the read and write latency histograms across
+// all regions weighted by their observation counts.
+func (s Stats) LatencySnapshot() (read, write metrics.Snapshot) {
+	var rCount, wCount int64
+	var rMean, wMean float64
+	for _, r := range s.Regions {
+		rCount += r.ReadLatency.Count
+		wCount += r.WriteLatency.Count
+		rMean += float64(r.ReadLatency.Mean) * float64(r.ReadLatency.Count)
+		wMean += float64(r.WriteLatency.Mean) * float64(r.WriteLatency.Count)
+		if r.ReadLatency.Max > read.Max {
+			read.Max = r.ReadLatency.Max
+		}
+		if r.WriteLatency.Max > write.Max {
+			write.Max = r.WriteLatency.Max
+		}
+	}
+	read.Count = rCount
+	write.Count = wCount
+	if rCount > 0 {
+		read.Mean = time.Duration(rMean / float64(rCount))
+	}
+	if wCount > 0 {
+		write.Mean = time.Duration(wMean / float64(wCount))
+	}
+	return read, write
+}

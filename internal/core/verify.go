@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+)
+
+// VerifyIntegrity cross-checks the space manager's internal bookkeeping and
+// returns the first inconsistency found, or nil.  It is used by tests and by
+// the flashsim tool after stress runs; the checks are:
+//
+//  1. every logical page maps to a physical slot whose block marks that slot
+//     valid and records the same LPN;
+//  2. every block's valid counter equals the number of valid slots it holds;
+//  3. the number of valid slots across a region's dies equals the region's
+//     valid-page counter and the global mapping size equals the sum over all
+//     regions;
+//  4. dies are owned by exactly one region and every region's die list agrees
+//     with the ownership table.
+func (m *Manager) VerifyIntegrity() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// (1) mapping -> block bookkeeping.
+	for lpn, e := range m.mapping {
+		if !m.geo.ValidAddr(e.addr) {
+			return fmt.Errorf("core: lpn %d maps to invalid address %v", lpn, e.addr)
+		}
+		blk := &m.dies[e.addr.Die].blocks[e.addr.Block]
+		if !blk.valid[e.addr.Page] {
+			return fmt.Errorf("core: lpn %d maps to %v which is not marked valid", lpn, e.addr)
+		}
+		if blk.lpns[e.addr.Page] != lpn {
+			return fmt.Errorf("core: lpn %d maps to %v which records lpn %d", lpn, e.addr, blk.lpns[e.addr.Page])
+		}
+	}
+
+	// (2) per-block valid counters and (3) per-region totals.
+	validPerRegion := make(map[RegionID]int64)
+	for die, da := range m.dies {
+		owner := m.dieOwner[die]
+		if _, ok := m.regionsByID[owner]; !ok {
+			return fmt.Errorf("core: die %d owned by unknown region %d", die, owner)
+		}
+		for b := range da.blocks {
+			blk := &da.blocks[b]
+			count := 0
+			for p, v := range blk.valid {
+				if v {
+					count++
+					lpn := blk.lpns[p]
+					if e, ok := m.mapping[lpn]; !ok || e.addr != (ppa{Die: die, Block: b, Page: p}) {
+						return fmt.Errorf("core: die %d block %d page %d claims lpn %d but the mapping disagrees", die, b, p, lpn)
+					}
+				}
+			}
+			if count != blk.validCount {
+				return fmt.Errorf("core: die %d block %d valid count %d, found %d valid slots", die, b, blk.validCount, count)
+			}
+			validPerRegion[owner] += int64(count)
+		}
+	}
+	var total int64
+	for id, r := range m.regionsByID {
+		// Spilled writes physically live on default-region dies but remain
+		// accounted to the default region, so the comparison is per owner.
+		if validPerRegion[id] != r.validPages {
+			return fmt.Errorf("core: region %q valid pages %d, found %d valid slots on its dies",
+				r.name, r.validPages, validPerRegion[id])
+		}
+		total += r.validPages
+	}
+	if total != int64(len(m.mapping)) {
+		return fmt.Errorf("core: %d mapped pages but regions account for %d", len(m.mapping), total)
+	}
+
+	// (4) region die lists agree with the ownership table.
+	for id, r := range m.regionsByID {
+		for _, d := range r.dies {
+			if d < 0 || d >= m.geo.Dies() {
+				return fmt.Errorf("core: region %q lists die %d which does not exist", r.name, d)
+			}
+			if m.dieOwner[d] != id {
+				return fmt.Errorf("core: region %q lists die %d but it is owned by region %d", r.name, d, m.dieOwner[d])
+			}
+		}
+	}
+	return nil
+}

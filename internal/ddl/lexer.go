@@ -1,0 +1,104 @@
+// Package ddl parses the SQL data-definition statements the paper uses to
+// administer native flash storage through existing logical structures (§2):
+//
+//	CREATE REGION rgHotTbl (MAX_CHIPS=8, MAX_CHANNELS=4, MAX_SIZE=1280M);
+//	CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT SIZE 128K);
+//	CREATE TABLE T (t_id NUMBER(3)) TABLESPACE tsHotTbl;
+//	CREATE [UNIQUE] INDEX idx ON T (t_id) TABLESPACE tsHotTbl;
+//	DROP REGION/TABLESPACE/TABLE/INDEX name;
+//
+// The parser produces statement values that the database facade executes
+// against the catalog and the NoFTL space manager.
+package ddl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct
+	tokString
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+// lex tokenizes the input.  Identifiers are case-normalized to upper case
+// except when quoted; numbers keep an optional K/M/G suffix attached.
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '-':
+			// SQL line comment.
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.input) && isIdentPart(rune(l.input[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.input[start:l.pos], pos: start})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.input) && (l.input[l.pos] >= '0' && l.input[l.pos] <= '9') {
+				l.pos++
+			}
+			// Optional size suffix (K, M, G) glued to the number.
+			if l.pos < len(l.input) {
+				switch l.input[l.pos] {
+				case 'k', 'K', 'm', 'M', 'g', 'G':
+					l.pos++
+				}
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.input[start:l.pos], pos: start})
+		case c == '\'' || c == '"':
+			quote := c
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.input) && l.input[l.pos] != quote {
+				l.pos++
+			}
+			if l.pos >= len(l.input) {
+				return nil, fmt.Errorf("ddl: unterminated string starting at %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: l.input[start+1 : l.pos], pos: start})
+			l.pos++
+		case strings.ContainsRune("(),=;.*", rune(c)):
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: l.pos})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("ddl: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

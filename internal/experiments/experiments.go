@@ -1,0 +1,280 @@
+// Package experiments contains the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (Figure 2, Figure 3 and the
+// headline percentages of the abstract), plus the ablation experiments
+// listed in DESIGN.md (A1–A4).  The functions here are shared by the
+// top-level Go benchmarks (bench_test.go) and the cmd/noftl-bench tool.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"noftl"
+	"noftl/internal/core"
+	"noftl/internal/flash"
+	"noftl/internal/metrics"
+	"noftl/internal/tpcc"
+)
+
+// Scale selects how big an experiment run is.
+type Scale int
+
+// Experiment scales.
+const (
+	// ScaleTiny finishes in well under a second; used by go test.
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default for `go test -bench` and the CLI: a 16-die
+	// device with enough load to exercise garbage collection.
+	ScaleSmall
+	// ScalePaper approximates the paper's platform: 64 dies behind 8
+	// channels and a larger TPC-C database (minutes of wall-clock time).
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	default:
+		return "unknown"
+	}
+}
+
+// Setup bundles the database and workload configuration of one experiment
+// run.
+type Setup struct {
+	DB   noftl.Config
+	TPCC tpcc.Config
+}
+
+// TPCCSetup returns the database and workload configuration for a TPC-C run
+// at the given scale.  The device is sized so that the database plus its
+// growth during the run reaches high utilization, which is where garbage
+// collection — and therefore data placement — matters.
+func TPCCSetup(scale Scale) Setup {
+	var (
+		geo      flash.Geometry
+		workload tpcc.Config
+		pool     int
+	)
+	switch scale {
+	case ScalePaper:
+		geo = flash.Geometry{
+			Channels: 8, DiesPerChannel: 8, PlanesPerDie: 2,
+			BlocksPerDie: 22, PagesPerBlock: 64, PageSize: 4096,
+		}
+		workload = tpcc.Config{
+			Warehouses:               8,
+			CustomersPerDistrict:     600,
+			ItemCount:                5000,
+			InitialOrdersPerDistrict: 600,
+			Terminals:                32,
+			Transactions:             60000,
+			Duration:                 90 * time.Second,
+			WarmupTransactions:       10000,
+			Seed:                     42,
+			CheckpointEvery:          500,
+		}
+		pool = 12288
+	case ScaleSmall:
+		geo = flash.Geometry{
+			Channels: 4, DiesPerChannel: 4, PlanesPerDie: 1,
+			BlocksPerDie: 20, PagesPerBlock: 32, PageSize: 4096,
+		}
+		workload = tpcc.Config{
+			Warehouses:               2,
+			CustomersPerDistrict:     300,
+			ItemCount:                2000,
+			InitialOrdersPerDistrict: 300,
+			Terminals:                8,
+			Transactions:             8000,
+			Duration:                 20 * time.Second,
+			WarmupTransactions:       1500,
+			Seed:                     42,
+		}
+		pool = 768
+	default: // ScaleTiny
+		geo = flash.Geometry{
+			Channels: 4, DiesPerChannel: 2, PlanesPerDie: 1,
+			BlocksPerDie: 16, PagesPerBlock: 32, PageSize: 4096,
+		}
+		workload = tpcc.Config{
+			Warehouses:               1,
+			CustomersPerDistrict:     60,
+			ItemCount:                300,
+			InitialOrdersPerDistrict: 60,
+			Terminals:                4,
+			Transactions:             600,
+			WarmupTransactions:       100,
+			Seed:                     42,
+		}
+		pool = 192
+	}
+	dbCfg := noftl.DefaultConfig()
+	dbCfg.Flash.Geometry = geo
+	dbCfg.BufferPoolPages = pool
+	return Setup{DB: dbCfg, TPCC: workload}
+}
+
+// RunTPCC runs one TPC-C experiment (load + warm-up + measurement) under the
+// given placement on a fresh database.
+func RunTPCC(scale Scale, placement tpcc.PlacementKind) (tpcc.Results, error) {
+	setup := TPCCSetup(scale)
+	setup.TPCC.Placement = placement
+	if placement == tpcc.PlacementTraditional {
+		// The paper's baseline is NoFTL with traditional placement: hints
+		// are ignored and every object is striped uniformly over all dies.
+		setup.DB.Space.Mode = core.PlacementTraditional
+	}
+	db, err := noftl.Open(setup.DB)
+	if err != nil {
+		return tpcc.Results{}, err
+	}
+	defer db.Close()
+	return tpcc.LoadAndRun(db, setup.TPCC)
+}
+
+// Figure3 holds the two runs of the paper's Figure 3 comparison.
+type Figure3 struct {
+	Scale       Scale
+	Traditional tpcc.Results
+	Regions     tpcc.Results
+}
+
+// RunFigure3 executes the Figure 3 experiment: the same TPC-C workload under
+// traditional and multi-region placement on identical fresh devices.
+func RunFigure3(scale Scale) (Figure3, error) {
+	trad, err := RunTPCC(scale, tpcc.PlacementTraditional)
+	if err != nil {
+		return Figure3{}, fmt.Errorf("traditional placement run: %w", err)
+	}
+	regions, err := RunTPCC(scale, tpcc.PlacementRegions)
+	if err != nil {
+		return Figure3{}, fmt.Errorf("region placement run: %w", err)
+	}
+	return Figure3{Scale: scale, Traditional: trad, Regions: regions}, nil
+}
+
+// Table renders the comparison in the layout of the paper's Figure 3.
+func (f Figure3) Table() string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 3: Performance comparison of traditional and multi-region data placement (%s scale)", f.Scale),
+		"Metric", "Traditional data placement", "Data placement using Regions")
+	tr, rg := f.Traditional, f.Regions
+	t.AddRow("TPS", tr.TPS, rg.TPS)
+	t.AddRow("READ 4KB (us)", float64(tr.ReadLatency.Mean)/1e3, float64(rg.ReadLatency.Mean)/1e3)
+	t.AddRow("WRITE 4KB (us)", float64(tr.WriteLatency.Mean)/1e3, float64(rg.WriteLatency.Mean)/1e3)
+	t.AddRow("NewOrder TRX (ms)", ms(tr.ResponseTimes[tpcc.TxnNewOrder].Mean), ms(rg.ResponseTimes[tpcc.TxnNewOrder].Mean))
+	t.AddRow("Payment TRX (ms)", ms(tr.ResponseTimes[tpcc.TxnPayment].Mean), ms(rg.ResponseTimes[tpcc.TxnPayment].Mean))
+	t.AddRow("StockLevel TRX (ms)", ms(tr.ResponseTimes[tpcc.TxnStockLevel].Mean), ms(rg.ResponseTimes[tpcc.TxnStockLevel].Mean))
+	t.AddRow("Transactions", tr.Committed, rg.Committed)
+	t.AddRow("Host READ I/Os (4KB)", tr.HostReadIOs, rg.HostReadIOs)
+	t.AddRow("Host WRITE I/Os (4KB)", tr.HostWriteIOs, rg.HostWriteIOs)
+	t.AddRow("GC COPYBACKs", tr.GCCopybacks, rg.GCCopybacks)
+	t.AddRow("GC ERASEs", tr.GCErases, rg.GCErases)
+	t.AddRow("Write amplification", tr.WriteAmp, rg.WriteAmp)
+	return t.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// Headline holds the abstract's headline metrics (experiment E3): the
+// relative change from traditional to region placement.
+type Headline struct {
+	TPSDeltaPct       float64 // paper: ≈ +20 %
+	CopybacksDeltaPct float64 // paper: ≈ −20 %
+	ErasesDeltaPct    float64 // paper: ≈ −4.3 %
+	HostIOsDeltaPct   float64 // paper: ≈ +20 %
+	ReadLatDeltaPct   float64
+	WriteLatDeltaPct  float64
+}
+
+// Headline computes the relative deltas of the Figure 3 run.
+func (f Figure3) Headline() Headline {
+	tr, rg := f.Traditional, f.Regions
+	return Headline{
+		TPSDeltaPct:       metrics.PercentDelta(tr.TPS, rg.TPS),
+		CopybacksDeltaPct: metrics.PercentDelta(float64(tr.GCCopybacks), float64(rg.GCCopybacks)),
+		ErasesDeltaPct:    metrics.PercentDelta(float64(tr.GCErases), float64(rg.GCErases)),
+		HostIOsDeltaPct:   metrics.PercentDelta(float64(tr.HostReadIOs+tr.HostWriteIOs), float64(rg.HostReadIOs+rg.HostWriteIOs)),
+		ReadLatDeltaPct:   metrics.PercentDelta(float64(tr.ReadLatency.Mean), float64(rg.ReadLatency.Mean)),
+		WriteLatDeltaPct:  metrics.PercentDelta(float64(tr.WriteLatency.Mean), float64(rg.WriteLatency.Mean)),
+	}
+}
+
+// String renders the headline deltas next to the paper's reported values.
+func (h Headline) String() string {
+	var b strings.Builder
+	b.WriteString("Headline metrics (regions vs traditional placement):\n")
+	fmt.Fprintf(&b, "  transactional throughput: %+.1f%%   (paper: +21%%)\n", h.TPSDeltaPct)
+	fmt.Fprintf(&b, "  GC copybacks:             %+.1f%%   (paper: -19%%)\n", h.CopybacksDeltaPct)
+	fmt.Fprintf(&b, "  GC erases:                %+.1f%%   (paper: -4.3%%)\n", h.ErasesDeltaPct)
+	fmt.Fprintf(&b, "  host I/Os served:         %+.1f%%   (paper: +20%%)\n", h.HostIOsDeltaPct)
+	fmt.Fprintf(&b, "  4KB read latency:         %+.1f%%   (paper: -40%%)\n", h.ReadLatDeltaPct)
+	fmt.Fprintf(&b, "  4KB write latency:        %+.1f%%   (paper: -38%%)\n", h.WriteLatDeltaPct)
+	return b.String()
+}
+
+// Figure2 holds the Region-Advisor experiment: the statistics collection run
+// and the derived placement plan.
+type Figure2 struct {
+	Scale   Scale
+	Objects []metrics.ObjectCounters
+	Plan    noftl.PlacementPlan
+}
+
+// RunFigure2 reproduces Figure 2: run TPC-C under traditional placement to
+// collect per-object statistics, then let the Region Advisor divide the
+// objects into regions and distribute the dies.
+func RunFigure2(scale Scale) (Figure2, error) {
+	setup := TPCCSetup(scale)
+	setup.TPCC.Placement = tpcc.PlacementTraditional
+	db, err := noftl.Open(setup.DB)
+	if err != nil {
+		return Figure2{}, err
+	}
+	defer db.Close()
+	if _, err := tpcc.LoadAndRun(db, setup.TPCC); err != nil {
+		return Figure2{}, err
+	}
+	objs := db.ObjectStats()
+	plan := db.Advise(noftl.AdvisorOptions{MaxRegions: 6})
+	return Figure2{Scale: scale, Objects: objs, Plan: plan}, nil
+}
+
+// Table renders the advisor's plan in the layout of the paper's Figure 2.
+func (f Figure2) Table() string {
+	return f.Plan.TableString()
+}
+
+// PaperFigure2Table renders the placement configuration the paper itself
+// used (the fixed object grouping of Figure 2) for side-by-side comparison.
+func PaperFigure2Table(totalDies int) string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Paper Figure 2: multi-region data placement configuration for TPC-C (%d dies)", totalDies),
+		"Tablespace/Region", "DB-Objects", "Num. of Flash dies")
+	rows := []struct {
+		objs string
+		dies int
+	}{
+		{"DBMS-metadata; HISTORY", 2},
+		{"ORDERLINE", 11},
+		{"CUSTOMER", 10},
+		{"OL_IDX; STOCK", 29},
+		{"NEW_ORDER; ORDER; NO_IDX; O_IDX; O_CUST_IDX", 6},
+		{"C_IDX; I_IDX; S_IDX; W_IDX; C_NAME_IDX; ITEM; D_IDX; WAREHOUSE; DISTRICT", 6},
+	}
+	for i, r := range rows {
+		dies := r.dies * totalDies / 64
+		if dies < 1 {
+			dies = 1
+		}
+		t.AddRow(i, r.objs, dies)
+	}
+	return t.String()
+}

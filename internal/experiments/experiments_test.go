@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"noftl/internal/tpcc"
+)
+
+func TestTPCCSetupScales(t *testing.T) {
+	for _, sc := range []Scale{ScaleTiny, ScaleSmall, ScalePaper} {
+		s := TPCCSetup(sc)
+		if err := s.DB.Flash.Geometry.Validate(); err != nil {
+			t.Fatalf("%s: invalid geometry: %v", sc, err)
+		}
+		if s.TPCC.Transactions <= 0 || s.TPCC.Terminals <= 0 {
+			t.Fatalf("%s: empty workload", sc)
+		}
+		if sc.String() == "" {
+			t.Fatal("empty scale name")
+		}
+	}
+	if TPCCSetup(ScalePaper).DB.Flash.Geometry.Dies() != 64 {
+		t.Fatal("paper scale must have 64 dies")
+	}
+	if Scale(99).String() != "unknown" {
+		t.Fatal("unknown scale name")
+	}
+}
+
+func TestRunFigure2Tiny(t *testing.T) {
+	f2, err := RunFigure2(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Objects) < 10 {
+		t.Fatalf("only %d objects have statistics", len(f2.Objects))
+	}
+	if len(f2.Plan.Groups) == 0 || len(f2.Plan.Groups) > 6 {
+		t.Fatalf("plan has %d groups", len(f2.Plan.Groups))
+	}
+	total := 0
+	for _, g := range f2.Plan.Groups {
+		total += g.Dies
+	}
+	if total != TPCCSetup(ScaleTiny).DB.Flash.Geometry.Dies() {
+		t.Fatalf("plan distributes %d dies", total)
+	}
+	tbl := f2.Table()
+	for _, obj := range []string{tpcc.TableStock, tpcc.TableOrderLine, tpcc.TableCustomer} {
+		if !strings.Contains(tbl, obj) {
+			t.Fatalf("Figure 2 table missing %s:\n%s", obj, tbl)
+		}
+	}
+	if !strings.Contains(PaperFigure2Table(64), "OL_IDX; STOCK") {
+		t.Fatal("paper reference table wrong")
+	}
+}
+
+func TestRunFigure3Tiny(t *testing.T) {
+	f3, err := RunFigure3(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Traditional.Committed == 0 || f3.Regions.Committed == 0 {
+		t.Fatal("runs committed nothing")
+	}
+	if f3.Traditional.Failed != 0 || f3.Regions.Failed != 0 {
+		t.Fatalf("failed transactions: %d / %d", f3.Traditional.Failed, f3.Regions.Failed)
+	}
+	tbl := f3.Table()
+	for _, want := range []string{"TPS", "GC COPYBACKs", "GC ERASEs", "Host READ I/Os", "NewOrder TRX"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("Figure 3 table missing %q:\n%s", want, tbl)
+		}
+	}
+	h := f3.Headline()
+	if h.String() == "" {
+		t.Fatal("empty headline")
+	}
+	// At tiny scale GC may barely trigger, so only sanity-check that the
+	// metrics were measured at all.
+	if f3.Traditional.HostWriteIOs == 0 || f3.Regions.HostWriteIOs == 0 {
+		t.Fatal("no host writes measured")
+	}
+	if f3.Traditional.ReadLatency.Count == 0 {
+		t.Fatal("no read latencies measured")
+	}
+}
+
+func TestAblationParallelism(t *testing.T) {
+	res, err := RunAblationParallelism(512, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 2 {
+		t.Fatalf("striping across 8 dies should speed up batched reads well over 2x, got %.2fx (%v vs %v)",
+			res.Speedup, res.SequentialOneDi, res.StripedAllDies)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestAblationHotCold(t *testing.T) {
+	res, err := RunAblationHotCold(1200, 128, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MixedCopybacks == 0 {
+		t.Fatal("mixed configuration produced no copybacks; workload too small")
+	}
+	if res.SeparatedWA >= res.MixedWA {
+		t.Fatalf("separation did not reduce write amplification: %.2f vs %.2f", res.SeparatedWA, res.MixedWA)
+	}
+	if res.SepCopybacks >= res.MixedCopybacks {
+		t.Fatalf("separation did not reduce copybacks: %d vs %d", res.SepCopybacks, res.MixedCopybacks)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestAblationFTLvsNoFTL(t *testing.T) {
+	res, err := RunAblationFTLvsNoFTL(800, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FTLMapMisses == 0 {
+		t.Fatal("FTL mapping cache never missed; cache sized wrong")
+	}
+	if res.NoFTLTime >= res.FTLTime {
+		t.Fatalf("NoFTL should finish the same workload faster than the FTL stack: %v vs %v",
+			res.NoFTLTime, res.FTLTime)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+// TestFigure3ShapeSmall verifies the paper's qualitative result at the small
+// scale: multi-region placement achieves higher throughput and fewer GC
+// copybacks than traditional placement.  It is the slowest test in the
+// repository and is skipped with -short.
+func TestFigure3ShapeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping small-scale Figure 3 shape test in -short mode")
+	}
+	f3, err := RunFigure3(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s", f3.Table(), f3.Headline().String())
+	if f3.Traditional.Failed != 0 || f3.Regions.Failed != 0 {
+		t.Fatalf("failed transactions: %d / %d", f3.Traditional.Failed, f3.Regions.Failed)
+	}
+	if f3.Traditional.GCCopybacks == 0 {
+		t.Fatal("traditional run triggered no GC copybacks; device sizing is off")
+	}
+	if f3.Regions.GCCopybacks >= f3.Traditional.GCCopybacks {
+		t.Errorf("regions placement should reduce GC copybacks: %d vs %d",
+			f3.Regions.GCCopybacks, f3.Traditional.GCCopybacks)
+	}
+	if f3.Regions.TPS <= f3.Traditional.TPS {
+		t.Errorf("regions placement should increase throughput: %.2f vs %.2f TPS",
+			f3.Regions.TPS, f3.Traditional.TPS)
+	}
+	if f3.Regions.WriteAmp >= f3.Traditional.WriteAmp {
+		t.Errorf("regions placement should reduce write amplification: %.2f vs %.2f",
+			f3.Regions.WriteAmp, f3.Traditional.WriteAmp)
+	}
+}
+
+func TestAblationRegionSweepTiny(t *testing.T) {
+	points, err := RunAblationRegionSweep(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Regions != 1 || points[1].Regions != 6 {
+		t.Fatalf("sweep points: %+v", points)
+	}
+	if !strings.Contains(SweepTable(points), "Regions") {
+		t.Fatal("sweep table wrong")
+	}
+}

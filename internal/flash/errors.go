@@ -1,0 +1,28 @@
+package flash
+
+import "errors"
+
+// Errors returned by the device model.  They correspond to conditions a real
+// native-flash controller would report: addressing outside the device,
+// violating NAND programming constraints, or operating on worn-out blocks.
+var (
+	// ErrOutOfRange reports an address outside the device geometry.
+	ErrOutOfRange = errors.New("flash: address out of range")
+	// ErrNotErased reports a program to a page that has already been
+	// programmed since the last erase of its block (in-place overwrite).
+	ErrNotErased = errors.New("flash: page is not in erased state")
+	// ErrProgramOrder reports a program that violates the sequential
+	// page-programming constraint within a block.
+	ErrProgramOrder = errors.New("flash: pages within a block must be programmed sequentially")
+	// ErrReadErased reports a read of a page that has never been programmed
+	// since the last erase.
+	ErrReadErased = errors.New("flash: read of erased page")
+	// ErrBadBlock reports an operation on a block marked bad (worn out).
+	ErrBadBlock = errors.New("flash: block is marked bad")
+	// ErrCopybackCrossDie reports a copyback whose source and destination are
+	// on different dies; the on-die copyback command cannot cross dies.
+	ErrCopybackCrossDie = errors.New("flash: copyback source and destination must be on the same die")
+	// ErrPageSize reports a program whose payload does not match the page
+	// size of the device.
+	ErrPageSize = errors.New("flash: payload size does not match device page size")
+)

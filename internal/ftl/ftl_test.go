@@ -1,0 +1,220 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"noftl/internal/flash"
+	"noftl/internal/sim"
+)
+
+func testDevice(t *testing.T) *flash.Device {
+	t.Helper()
+	cfg := flash.DefaultConfig()
+	cfg.Geometry = flash.Geometry{
+		Channels: 2, DiesPerChannel: 2, PlanesPerDie: 1,
+		BlocksPerDie: 32, PagesPerBlock: 16, PageSize: 512,
+	}
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func page(dev *flash.Device, b byte) []byte {
+	buf := make([]byte, dev.Geometry().PageSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestSSDReadWriteRoundTrip(t *testing.T) {
+	dev := testDevice(t)
+	s := New(dev, DefaultOptions())
+	if s.CapacityLBAs() <= 0 || s.CapacityLBAs() >= dev.Geometry().TotalPages() {
+		t.Fatalf("capacity %d should reflect over-provisioning", s.CapacityLBAs())
+	}
+	if s.Device() != dev {
+		t.Fatal("Device accessor wrong")
+	}
+	// Unwritten LBA.
+	if _, _, err := s.Read(0, 5, nil); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("want ErrUnwritten, got %v", err)
+	}
+	// Out of range.
+	if _, _, err := s.Read(0, s.CapacityLBAs(), nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if _, err := s.Write(0, -1, page(dev, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	done, err := s.Write(0, 5, page(dev, 0x77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rdone, err := s.Read(done, 5, nil)
+	if err != nil || !bytes.Equal(got, page(dev, 0x77)) {
+		t.Fatalf("read back wrong: %v", err)
+	}
+	if rdone <= done {
+		t.Fatal("read consumed no time")
+	}
+	// Overwrite.
+	if _, err := s.Write(rdone, 5, page(dev, 0x78)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Read(rdone, 5, nil)
+	if !bytes.Equal(got, page(dev, 0x78)) {
+		t.Fatal("overwrite lost")
+	}
+	st := s.Stats()
+	if st.HostWrites != 2 || st.HostReads != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSSDGarbageCollection(t *testing.T) {
+	dev := testDevice(t)
+	opts := DefaultOptions()
+	opts.OverprovisionPct = 0.25
+	s := New(dev, opts)
+	now := sim.Time(0)
+	const lbas = 256
+	for round := 0; round < 10; round++ {
+		for l := int64(0); l < lbas; l++ {
+			done, err := s.Write(now, l, page(dev, byte(round)))
+			if err != nil {
+				t.Fatalf("round %d lba %d: %v", round, l, err)
+			}
+			now = done
+		}
+	}
+	st := s.Stats()
+	if st.GCErases == 0 {
+		t.Fatal("GC never erased")
+	}
+	if st.WriteAmplification() < 1 {
+		t.Fatalf("WA = %v", st.WriteAmplification())
+	}
+	// Data still correct after GC moved things around.
+	for l := int64(0); l < lbas; l++ {
+		got, _, err := s.Read(now, l, nil)
+		if err != nil || got[0] != 9 {
+			t.Fatalf("lba %d corrupted after GC: %v", l, err)
+		}
+	}
+}
+
+func TestSSDTrim(t *testing.T) {
+	dev := testDevice(t)
+	// Without trim support the command is a no-op.
+	s := New(dev, DefaultOptions())
+	if _, err := s.Write(0, 1, page(dev, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Trim(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Read(0, 1, nil); err != nil {
+		t.Fatalf("trim without support must not drop data: %v", err)
+	}
+	if s.Stats().Trims != 0 {
+		t.Fatal("trim counted although unsupported")
+	}
+	// With trim support the LBA becomes unwritten.
+	opts := DefaultOptions()
+	opts.SupportsTrim = true
+	s2 := New(testDevice(t), opts)
+	if _, err := s2.Write(0, 1, page(dev, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Trim(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.Read(0, 1, nil); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("want ErrUnwritten after trim, got %v", err)
+	}
+	if err := s2.Trim(1 << 40); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("want ErrOutOfRange, got %v", err)
+	}
+	if s2.Stats().Trims != 1 {
+		t.Fatal("trim not counted")
+	}
+}
+
+func TestSSDMapCacheMisses(t *testing.T) {
+	dev := testDevice(t)
+	opts := DefaultOptions()
+	opts.MapCacheEntries = 4
+	s := New(dev, opts)
+	now := sim.Time(0)
+	// Touch more LBAs than the cache holds, twice; the second pass must still
+	// miss because of FIFO eviction.
+	for pass := 0; pass < 2; pass++ {
+		for l := int64(0); l < 16; l++ {
+			done, err := s.Write(now, l, page(dev, byte(l)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = done
+		}
+	}
+	st := s.Stats()
+	if st.MapMisses == 0 {
+		t.Fatal("no map misses with a tiny cache")
+	}
+	// Unlimited cache: no penalty.
+	opts.MapCacheEntries = 0
+	s2 := New(testDevice(t), opts)
+	for l := int64(0); l < 16; l++ {
+		if _, err := s2.Write(0, l, page(dev, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s2.Stats(); st.MapMisses != 0 || st.MapHits != 0 {
+		t.Fatalf("unlimited cache counted lookups: %+v", st)
+	}
+}
+
+func TestSSDMapMissCostsTime(t *testing.T) {
+	dev := testDevice(t)
+	optsMiss := DefaultOptions()
+	optsMiss.MapCacheEntries = 1
+	sMiss := New(dev, optsMiss)
+
+	devFast := testDevice(t)
+	optsHit := DefaultOptions()
+	optsHit.MapCacheEntries = 0
+	sHit := New(devFast, optsHit)
+
+	// Alternate between two LBAs so the 1-entry cache always misses.
+	var missTime, hitTime sim.Time
+	for i := 0; i < 10; i++ {
+		lba := int64(i % 2)
+		d1, err := sMiss.Write(missTime, lba, page(dev, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		missTime = d1
+		d2, err := sHit.Write(hitTime, lba, page(dev, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hitTime = d2
+	}
+	if missTime <= hitTime {
+		t.Fatalf("mapping misses should cost time: miss=%v hit=%v", missTime, hitTime)
+	}
+}
+
+func TestWriteAmplificationHelper(t *testing.T) {
+	if (Stats{}).WriteAmplification() != 0 {
+		t.Fatal("WA of zero stats")
+	}
+	if (Stats{HostWrites: 10, GCCopybacks: 5}).WriteAmplification() != 1.5 {
+		t.Fatal("WA wrong")
+	}
+}

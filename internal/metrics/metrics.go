@@ -1,0 +1,309 @@
+// Package metrics provides the counters, latency histograms and per-object
+// I/O statistics used throughout the reproduction, plus helpers to render
+// them as the text tables printed by the benchmark harness.
+//
+// All collectors are safe for concurrent use; the hot paths use atomics.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a settable 64-bit value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates durations and reports count, mean and selected
+// percentiles.  It uses exponentially sized buckets from 1µs to ~17min which
+// is plenty for both 4 KB flash I/Os and multi-second transactions.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     int64 // nanoseconds
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: int64(^uint64(0) >> 1)}
+}
+
+func bucketFor(ns int64) int {
+	// bucket i covers [2^i, 2^(i+1)) microseconds-ish: we bucket by bit
+	// length of the nanosecond value for simplicity.
+	b := 0
+	for v := ns; v > 0; v >>= 1 {
+		b++
+	}
+	if b >= 64 {
+		b = 63
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper bound (ns) of bucket i.
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return (int64(1) << uint(i)) - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketFor(ns)]++
+	h.count++
+	h.sum += ns
+	if ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observed duration (zero if empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest observed duration (zero if empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Min returns the smallest observed duration (zero if empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// based on the bucket boundaries.  Returns zero if the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q*float64(h.count) + 0.9999999)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Reset clears all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = int64(^uint64(0) >> 1)
+	h.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a histogram's summary statistics.
+type Snapshot struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot returns the current summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// Set is a named collection of counters and histograms.  Components create
+// their metrics through a Set so the harness can dump everything uniformly.
+type Set struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (s *Set) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if needed.
+func (s *Set) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		s.histograms[name] = h
+	}
+	return h
+}
+
+// CounterValues returns a copy of all counter values keyed by name.
+func (s *Set) CounterValues() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v.Value()
+	}
+	return out
+}
+
+// Reset zeroes every collector in the set.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.counters {
+		c.Reset()
+	}
+	for _, g := range s.gauges {
+		g.Set(0)
+	}
+	for _, h := range s.histograms {
+		h.Reset()
+	}
+}
+
+// String renders the whole set as a sorted key: value listing, mainly for
+// debugging and the flashsim inspection tool.
+func (s *Set) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.counters)+len(s.gauges)+len(s.histograms))
+	for k := range s.counters {
+		keys = append(keys, "c:"+k)
+	}
+	for k := range s.gauges {
+		keys = append(keys, "g:"+k)
+	}
+	for k := range s.histograms {
+		keys = append(keys, "h:"+k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		switch k[0] {
+		case 'c':
+			out += fmt.Sprintf("%-40s %d\n", k[2:], s.counters[k[2:]].Value())
+		case 'g':
+			out += fmt.Sprintf("%-40s %d\n", k[2:], s.gauges[k[2:]].Value())
+		case 'h':
+			snap := s.histograms[k[2:]].Snapshot()
+			out += fmt.Sprintf("%-40s n=%d mean=%v p95=%v max=%v\n",
+				k[2:], snap.Count, snap.Mean, snap.P95, snap.Max)
+		}
+	}
+	return out
+}

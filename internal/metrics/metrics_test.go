@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter after reset = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("counter = %d, want 16000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+	h.Observe(100 * time.Microsecond)
+	h.Observe(200 * time.Microsecond)
+	h.Observe(300 * time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 200*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 100*time.Microsecond {
+		t.Fatalf("min = %v", h.Min())
+	}
+	if h.Max() != 300*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if p := h.Quantile(0.99); p < 300*time.Microsecond {
+		t.Fatalf("p99 = %v below max", p)
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("count after reset = %d", h.Count())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5 * time.Second)
+	if h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: %v", h.Max())
+	}
+}
+
+// Property: quantile estimates never underestimate lower quantiles relative
+// to higher ones and never exceed twice the max bucket bound.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(samples []uint32) bool {
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Observe(time.Duration(s))
+		}
+		if len(samples) == 0 {
+			return h.Quantile(0.5) == 0
+		}
+		q50 := h.Quantile(0.50)
+		q95 := h.Quantile(0.95)
+		q99 := h.Quantile(0.99)
+		return q50 <= q95 && q95 <= q99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCreatesAndReuses(t *testing.T) {
+	s := NewSet()
+	c1 := s.Counter("flash.reads")
+	c2 := s.Counter("flash.reads")
+	if c1 != c2 {
+		t.Fatalf("Counter did not reuse the same collector")
+	}
+	c1.Add(3)
+	if s.CounterValues()["flash.reads"] != 3 {
+		t.Fatalf("CounterValues missing value")
+	}
+	h := s.Histogram("lat")
+	h.Observe(time.Millisecond)
+	g := s.Gauge("free")
+	g.Set(42)
+	out := s.String()
+	for _, want := range []string{"flash.reads", "lat", "free"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+	s.Reset()
+	if s.Counter("flash.reads").Value() != 0 || s.Gauge("free").Value() != 0 || s.Histogram("lat").Count() != 0 {
+		t.Fatalf("Reset did not clear collectors")
+	}
+}
+
+func TestObjectStats(t *testing.T) {
+	o := NewObjectStats()
+	o.Register("STOCK", "table", "tsStock")
+	o.RecordRead("STOCK", 10)
+	o.RecordWrite("STOCK", 4)
+	o.RecordAppend("HISTORY", 7)
+	o.SetSize("STOCK", 100)
+	o.AddSize("STOCK", 20)
+
+	c, ok := o.Get("STOCK")
+	if !ok {
+		t.Fatalf("STOCK missing")
+	}
+	if c.Reads != 10 || c.Writes != 4 || c.SizePages != 120 || c.Kind != "table" || c.Tablespace != "tsStock" {
+		t.Fatalf("unexpected counters: %+v", c)
+	}
+	if _, ok := o.Get("NOPE"); ok {
+		t.Fatalf("unexpected object")
+	}
+
+	all := o.All()
+	if len(all) != 2 {
+		t.Fatalf("All returned %d objects", len(all))
+	}
+	if all[0].Name != "STOCK" {
+		t.Fatalf("All not sorted by I/O: %v", all[0].Name)
+	}
+
+	o.Reset()
+	c, _ = o.Get("STOCK")
+	if c.Reads != 0 || c.Writes != 0 {
+		t.Fatalf("Reset did not clear I/O counters")
+	}
+	if c.Kind != "table" {
+		t.Fatalf("Reset dropped registration")
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{
+		0:         "0",
+		5:         "5",
+		999:       "999",
+		1000:      "1,000",
+		19017255:  "19,017,255",
+		-1234567:  "-1,234,567",
+		100000000: "100,000,000",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPercentDelta(t *testing.T) {
+	if d := PercentDelta(100, 120); d != 20 {
+		t.Fatalf("delta = %v", d)
+	}
+	if d := PercentDelta(0, 120); d != 0 {
+		t.Fatalf("delta with zero base = %v", d)
+	}
+	if d := PercentDelta(200, 100); d != -50 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Figure X", "Metric", "Traditional", "Regions")
+	tbl.AddRow("TPS", 595.42, 720.43)
+	tbl.AddRow("Transactions", int64(359725), int64(433192))
+	out := tbl.String()
+	for _, want := range []string{"Figure X", "TPS", "595.42", "433,192", "Traditional"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// ObjectStats accumulates per-database-object I/O statistics: logical reads,
+// logical writes (page updates) and the current size in pages.  The Region
+// Advisor (internal/core) consumes these statistics to derive a multi-region
+// placement configuration, which is how the paper's Figure 2 is produced.
+type ObjectStats struct {
+	mu   sync.Mutex
+	objs map[string]*ObjectCounters
+}
+
+// ObjectCounters is the per-object record kept by ObjectStats.
+type ObjectCounters struct {
+	Name       string
+	Reads      int64 // page reads issued on behalf of the object
+	Writes     int64 // page writes (updates/flushes) issued for the object
+	SizePages  int64 // current allocated size in pages
+	Appends    int64 // appends (insert-only growth), used to spot append-only objects
+	Kind       string
+	Tablespace string
+}
+
+// NewObjectStats returns an empty collector.
+func NewObjectStats() *ObjectStats {
+	return &ObjectStats{objs: make(map[string]*ObjectCounters)}
+}
+
+func (o *ObjectStats) get(name string) *ObjectCounters {
+	c, ok := o.objs[name]
+	if !ok {
+		c = &ObjectCounters{Name: name}
+		o.objs[name] = c
+	}
+	return c
+}
+
+// Register declares an object with its kind ("table", "index", "log",
+// "meta") and owning tablespace so reports can group them.
+func (o *ObjectStats) Register(name, kind, tablespace string) {
+	o.mu.Lock()
+	c := o.get(name)
+	c.Kind = kind
+	c.Tablespace = tablespace
+	o.mu.Unlock()
+}
+
+// RecordRead charges n page reads to the object.
+func (o *ObjectStats) RecordRead(name string, n int64) {
+	o.mu.Lock()
+	o.get(name).Reads += n
+	o.mu.Unlock()
+}
+
+// RecordWrite charges n page writes to the object.
+func (o *ObjectStats) RecordWrite(name string, n int64) {
+	o.mu.Lock()
+	o.get(name).Writes += n
+	o.mu.Unlock()
+}
+
+// RecordAppend charges n append operations to the object.
+func (o *ObjectStats) RecordAppend(name string, n int64) {
+	o.mu.Lock()
+	o.get(name).Appends += n
+	o.mu.Unlock()
+}
+
+// SetSize records the object's current size in pages.
+func (o *ObjectStats) SetSize(name string, pages int64) {
+	o.mu.Lock()
+	o.get(name).SizePages = pages
+	o.mu.Unlock()
+}
+
+// AddSize adjusts the object's size in pages by delta.
+func (o *ObjectStats) AddSize(name string, delta int64) {
+	o.mu.Lock()
+	o.get(name).SizePages += delta
+	o.mu.Unlock()
+}
+
+// Get returns a copy of the counters for name and whether it exists.
+func (o *ObjectStats) Get(name string) (ObjectCounters, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.objs[name]
+	if !ok {
+		return ObjectCounters{}, false
+	}
+	return *c, true
+}
+
+// All returns copies of every object's counters sorted by descending
+// (reads+writes), i.e. by I/O rate.
+func (o *ObjectStats) All() []ObjectCounters {
+	o.mu.Lock()
+	out := make([]ObjectCounters, 0, len(o.objs))
+	for _, c := range o.objs {
+		out = append(out, *c)
+	}
+	o.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		ii := out[i].Reads + out[i].Writes
+		jj := out[j].Reads + out[j].Writes
+		if ii != jj {
+			return ii > jj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Reset clears all per-object counters but keeps registrations (name, kind,
+// tablespace) so a measurement run after a warm-up starts from zero.
+func (o *ObjectStats) Reset() {
+	o.mu.Lock()
+	for _, c := range o.objs {
+		c.Reads, c.Writes, c.Appends = 0, 0, 0
+	}
+	o.mu.Unlock()
+}

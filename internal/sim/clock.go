@@ -1,0 +1,205 @@
+// Package sim provides virtual-time primitives used by the flash device
+// model and the transaction driver.
+//
+// The reproduction never sleeps for real flash latencies.  Instead every
+// resource (a die, a channel) carries a virtual "free at" timestamp and every
+// actor (a terminal, a background flusher, the garbage collector) carries a
+// virtual cursor.  Serving a request on a resource advances both, exactly as
+// a FCFS single-server queue would.  All timestamps are expressed in
+// nanoseconds of simulated time (type Time).
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.  It converts to and
+// from time.Duration one-to-one.
+type Duration = time.Duration
+
+// Micros returns the time as fractional microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Millis returns the time as fractional milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+// Seconds returns the time as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fms", t.Millis())
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Resource is a single-server FCFS queue living in virtual time: a NAND die,
+// a flash channel, or any other device component that serves one operation at
+// a time.  It is safe for concurrent use.
+type Resource struct {
+	mu     sync.Mutex
+	name   string
+	freeAt Time
+	busy   Duration // cumulative service time
+	served int64    // number of operations served
+}
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire serves an operation of length d for an actor whose current virtual
+// time is now.  It returns the operation's start and completion times.  The
+// operation starts when both the actor and the resource are available and
+// occupies the resource until completion.
+func (r *Resource) Acquire(now Time, d Duration) (start, done Time) {
+	r.mu.Lock()
+	start = MaxTime(now, r.freeAt)
+	done = start.Add(d)
+	r.freeAt = done
+	r.busy += d
+	r.served++
+	r.mu.Unlock()
+	return start, done
+}
+
+// Reserve is like Acquire but lets the caller split the occupation into a
+// transfer part that occupies the resource and a latent part that does not
+// (e.g. a channel is only held for the data transfer while the die works
+// independently).  The resource is occupied for hold, the caller's completion
+// time is start+total.
+func (r *Resource) Reserve(now Time, hold, total Duration) (start, done Time) {
+	r.mu.Lock()
+	start = MaxTime(now, r.freeAt)
+	r.freeAt = start.Add(hold)
+	r.busy += hold
+	r.served++
+	r.mu.Unlock()
+	return start, start.Add(total)
+}
+
+// FreeAt returns the virtual time at which the resource becomes idle.
+func (r *Resource) FreeAt() Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.freeAt
+}
+
+// Busy returns the cumulative virtual service time charged to the resource.
+func (r *Resource) Busy() Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
+
+// Served returns the number of operations served.
+func (r *Resource) Served() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.served
+}
+
+// Reset returns the resource to the idle state at time zero, clearing
+// accumulated statistics.
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	r.freeAt = 0
+	r.busy = 0
+	r.served = 0
+	r.mu.Unlock()
+}
+
+// Clock tracks the global high-water mark of simulated time across all
+// actors.  Actors advance their private cursors and publish them; the clock
+// remembers the maximum, which is the simulated wall-clock duration of the
+// run.
+type Clock struct {
+	mu  sync.Mutex
+	max Time
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Observe publishes an actor's cursor; the clock keeps the maximum.
+func (c *Clock) Observe(t Time) {
+	c.mu.Lock()
+	if t > c.max {
+		c.max = t
+	}
+	c.mu.Unlock()
+}
+
+// Now returns the highest observed simulated time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max
+}
+
+// Reset puts the clock back to zero.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.max = 0
+	c.mu.Unlock()
+}
+
+// Cursor is the private virtual-time position of a single actor (a TPC-C
+// terminal, a flusher, the GC).  It is not safe for concurrent use; each
+// actor owns its cursor.
+type Cursor struct {
+	now   Time
+	clock *Clock
+}
+
+// NewCursor returns a cursor at time zero publishing to clock (which may be
+// nil).
+func NewCursor(clock *Clock) *Cursor { return &Cursor{clock: clock} }
+
+// Now returns the actor's current virtual time.
+func (c *Cursor) Now() Time { return c.now }
+
+// AdvanceTo moves the cursor forward to t (never backwards) and publishes it.
+func (c *Cursor) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+	if c.clock != nil {
+		c.clock.Observe(c.now)
+	}
+}
+
+// Advance moves the cursor forward by d and publishes it.
+func (c *Cursor) Advance(d Duration) {
+	c.AdvanceTo(c.now.Add(d))
+}
+
+// SetTo forces the cursor to t even if it moves backwards (used when a pooled
+// actor is reused for a new logical actor).
+func (c *Cursor) SetTo(t Time) {
+	c.now = t
+	if c.clock != nil {
+		c.clock.Observe(c.now)
+	}
+}

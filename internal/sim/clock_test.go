@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResourceAcquireSequential(t *testing.T) {
+	r := NewResource("die0")
+	start, done := r.Acquire(0, 100*time.Nanosecond)
+	if start != 0 || done != 100 {
+		t.Fatalf("first op: got start=%d done=%d, want 0/100", start, done)
+	}
+	// Actor arrives at t=50 but resource is busy until 100.
+	start, done = r.Acquire(50, 30*time.Nanosecond)
+	if start != 100 || done != 130 {
+		t.Fatalf("queued op: got start=%d done=%d, want 100/130", start, done)
+	}
+	// Actor arrives after the resource is idle.
+	start, done = r.Acquire(500, 10*time.Nanosecond)
+	if start != 500 || done != 510 {
+		t.Fatalf("idle op: got start=%d done=%d, want 500/510", start, done)
+	}
+	if got := r.Served(); got != 3 {
+		t.Fatalf("served = %d, want 3", got)
+	}
+	if got := r.Busy(); got != 140*time.Nanosecond {
+		t.Fatalf("busy = %v, want 140ns", got)
+	}
+}
+
+func TestResourceReserveHoldShorterThanTotal(t *testing.T) {
+	r := NewResource("chan0")
+	// Channel held for 10ns, operation completes for the caller at 100ns.
+	start, done := r.Reserve(0, 10*time.Nanosecond, 100*time.Nanosecond)
+	if start != 0 || done != 100 {
+		t.Fatalf("got start=%d done=%d, want 0/100", start, done)
+	}
+	// Next caller only waits for the 10ns hold, not the full 100ns.
+	start, _ = r.Reserve(0, 10*time.Nanosecond, 100*time.Nanosecond)
+	if start != 10 {
+		t.Fatalf("second start = %d, want 10", start)
+	}
+}
+
+func TestResourceConcurrentAccounting(t *testing.T) {
+	r := NewResource("die")
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Acquire(0, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Served(); got != workers*perWorker {
+		t.Fatalf("served = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Busy(); got != workers*perWorker*time.Nanosecond {
+		t.Fatalf("busy = %v, want %d ns", got, workers*perWorker)
+	}
+	if got := r.FreeAt(); got != Time(workers*perWorker) {
+		t.Fatalf("freeAt = %d, want %d (serialized service)", got, workers*perWorker)
+	}
+}
+
+func TestClockObservesMaximum(t *testing.T) {
+	c := NewClock()
+	cur1 := NewCursor(c)
+	cur2 := NewCursor(c)
+	cur1.Advance(100 * time.Nanosecond)
+	cur2.Advance(40 * time.Nanosecond)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("clock = %d, want 100", got)
+	}
+	cur2.AdvanceTo(400)
+	if got := c.Now(); got != 400 {
+		t.Fatalf("clock = %d, want 400", got)
+	}
+	// Advancing backwards is a no-op.
+	cur2.AdvanceTo(10)
+	if cur2.Now() != 400 {
+		t.Fatalf("cursor moved backwards to %d", cur2.Now())
+	}
+}
+
+func TestCursorSetTo(t *testing.T) {
+	cur := NewCursor(nil)
+	cur.AdvanceTo(500)
+	cur.SetTo(100)
+	if cur.Now() != 100 {
+		t.Fatalf("SetTo did not move cursor back: %d", cur.Now())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := Time(1_500_000) // 1.5 ms
+	if tm.Micros() != 1500 {
+		t.Fatalf("Micros = %v", tm.Micros())
+	}
+	if tm.Millis() != 1.5 {
+		t.Fatalf("Millis = %v", tm.Millis())
+	}
+	if tm.Seconds() != 0.0015 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+	if tm.Add(500_000*time.Nanosecond) != Time(2_000_000) {
+		t.Fatalf("Add wrong")
+	}
+	if tm.Sub(Time(500_000)) != time.Millisecond {
+		t.Fatalf("Sub wrong")
+	}
+	if tm.String() == "" {
+		t.Fatalf("empty String()")
+	}
+}
+
+// Property: for any sequence of (arrival, service) pairs the resource start
+// times are monotonically non-decreasing and no operation starts before its
+// arrival.
+func TestResourceFCFSProperty(t *testing.T) {
+	f := func(arrivals []uint16, services []uint8) bool {
+		r := NewResource("p")
+		prevStart := Time(-1)
+		n := len(arrivals)
+		if len(services) < n {
+			n = len(services)
+		}
+		for i := 0; i < n; i++ {
+			arr := Time(arrivals[i])
+			svc := Duration(services[i]) + 1
+			start, done := r.Acquire(arr, svc)
+			if start < arr {
+				return false
+			}
+			if start < prevStart {
+				return false
+			}
+			if done != start.Add(svc) {
+				return false
+			}
+			prevStart = start
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

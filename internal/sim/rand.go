@@ -1,0 +1,129 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random number generator
+// (splitmix64 followed by xorshift mixing) used everywhere the reproduction
+// needs randomness.  Using our own generator keeps runs reproducible across
+// Go releases and avoids any dependency on global math/rand state.  It is not
+// safe for concurrent use; every actor owns its generator.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.  Two generators with the same
+// seed produce identical sequences.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{state: seed}
+	// Warm up so that small seeds do not produce correlated first outputs.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	// splitmix64
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n).  It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative pseudo-random int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// IntRange returns a pseudo-random int in [lo, hi] inclusive.  It panics if
+// hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("sim: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes n elements using the provided swap
+// function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf draws values in [0, n) following an approximate Zipf distribution with
+// exponent theta (0 < theta < 1 gives the YCSB-style "zipfian" skew).  It
+// uses the Gray et al. quick approximation, which is accurate enough for
+// workload generation.
+type Zipf struct {
+	r     *Rand
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a Zipf generator over [0, n) with the given skew exponent.
+func NewZipf(r *Rand, n int, theta float64) *Zipf {
+	z := &Zipf{r: r, n: n, theta: theta}
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2 = zetaStatic(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - powFloat(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// Next draws the next value.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+powFloat(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * powFloat(z.eta*u-z.eta+1, z.alpha))
+}
+
+func zetaStatic(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / powFloat(float64(i), theta)
+	}
+	return sum
+}
+
+// powFloat is a minimal x**y for positive x implemented with exp/log from the
+// math package would be fine; to keep hot paths allocation free we just use
+// the stdlib via a tiny indirection.
+func powFloat(x, y float64) float64 {
+	return mathPow(x, y)
+}

@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"noftl/internal/buffer"
+	"noftl/internal/core"
+	"noftl/internal/sim"
+)
+
+// Errors returned by heap files.
+var (
+	// ErrNotFound reports a record id that does not resolve to a live
+	// record.
+	ErrNotFound = errors.New("storage: record not found")
+)
+
+// HeapFile stores variable-length records of one table in slotted pages
+// allocated from the table's tablespace.  Inserts fill the most recently
+// allocated page and open a new page when it is full; updates are in place
+// (records keep their RID); deletes tombstone the slot.
+type HeapFile struct {
+	mu       sync.Mutex
+	name     string
+	objectID uint32
+	ts       *Tablespace
+	pool     *buffer.Pool
+	pages    []core.LPN
+	lastPage core.LPN
+	records  int64
+}
+
+// NewHeapFile creates an empty heap file for the object in the tablespace.
+func NewHeapFile(name string, objectID uint32, ts *Tablespace, pool *buffer.Pool) *HeapFile {
+	return &HeapFile{name: name, objectID: objectID, ts: ts, pool: pool}
+}
+
+// Name returns the table name the heap belongs to.
+func (h *HeapFile) Name() string { return h.name }
+
+// ObjectID returns the owning object's id.
+func (h *HeapFile) ObjectID() uint32 { return h.objectID }
+
+// PageCount returns the number of pages allocated to the heap.
+func (h *HeapFile) PageCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(len(h.pages))
+}
+
+// RecordCount returns the number of live records.
+func (h *HeapFile) RecordCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.records
+}
+
+// Pages returns a copy of the heap's page list (for scans and tests).
+func (h *HeapFile) Pages() []core.LPN {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]core.LPN, len(h.pages))
+	copy(out, h.pages)
+	return out
+}
+
+func (h *HeapFile) hint() core.Hint {
+	return h.ts.Hint(h.objectID, 0)
+}
+
+// Insert appends a record and returns its RID.
+func (h *HeapFile) Insert(now sim.Time, rec []byte) (RID, sim.Time, error) {
+	h.mu.Lock()
+	lpn := h.lastPage
+	h.mu.Unlock()
+
+	if lpn != 0 {
+		rid, done, ok, err := h.tryInsertInto(now, lpn, rec)
+		if err != nil {
+			return RID{}, done, err
+		}
+		if ok {
+			return rid, done, nil
+		}
+		now = done
+	}
+	// Open a fresh page.
+	h.mu.Lock()
+	newLPN := h.ts.AllocatePage()
+	h.pages = append(h.pages, newLPN)
+	h.lastPage = newLPN
+	h.mu.Unlock()
+
+	handle, done, err := h.pool.NewPage(now, newLPN, h.hint())
+	if err != nil {
+		return RID{}, done, err
+	}
+	defer handle.Release()
+	handle.Lock()
+	defer handle.Unlock()
+	InitPage(handle.Data(), PageTypeHeap, h.objectID, uint64(newLPN))
+	slot, err := InsertRecord(handle.Data(), rec)
+	if err != nil {
+		return RID{}, done, fmt.Errorf("heap %s: insert into fresh page: %w", h.name, err)
+	}
+	handle.MarkDirty()
+	h.mu.Lock()
+	h.records++
+	h.mu.Unlock()
+	return RID{LPN: uint64(newLPN), Slot: slot}, done, nil
+}
+
+// tryInsertInto attempts an insert into a specific page; ok is false when the
+// page has no room.
+func (h *HeapFile) tryInsertInto(now sim.Time, lpn core.LPN, rec []byte) (RID, sim.Time, bool, error) {
+	handle, done, err := h.pool.Fetch(now, lpn, h.hint())
+	if err != nil {
+		return RID{}, done, false, err
+	}
+	defer handle.Release()
+	handle.Lock()
+	defer handle.Unlock()
+	if FreeSpace(handle.Data()) < len(rec) {
+		return RID{}, done, false, nil
+	}
+	slot, err := InsertRecord(handle.Data(), rec)
+	if err != nil {
+		if errors.Is(err, ErrPageFull) {
+			return RID{}, done, false, nil
+		}
+		return RID{}, done, false, err
+	}
+	handle.MarkDirty()
+	h.mu.Lock()
+	h.records++
+	h.mu.Unlock()
+	return RID{LPN: uint64(lpn), Slot: slot}, done, true, nil
+}
+
+// Get returns a copy of the record identified by rid.
+func (h *HeapFile) Get(now sim.Time, rid RID) ([]byte, sim.Time, error) {
+	handle, done, err := h.pool.Fetch(now, core.LPN(rid.LPN), h.hint())
+	if err != nil {
+		return nil, done, err
+	}
+	defer handle.Release()
+	handle.RLock()
+	defer handle.RUnlock()
+	rec, err := ReadRecord(handle.Data(), rid.Slot)
+	if err != nil {
+		return nil, done, fmt.Errorf("heap %s: %w (%v)", h.name, ErrNotFound, err)
+	}
+	return rec, done, nil
+}
+
+// Update replaces the record identified by rid in place.
+func (h *HeapFile) Update(now sim.Time, rid RID, rec []byte) (sim.Time, error) {
+	handle, done, err := h.pool.Fetch(now, core.LPN(rid.LPN), h.hint())
+	if err != nil {
+		return done, err
+	}
+	defer handle.Release()
+	handle.Lock()
+	defer handle.Unlock()
+	if err := UpdateRecord(handle.Data(), rid.Slot, rec); err != nil {
+		return done, fmt.Errorf("heap %s: update %v: %w", h.name, rid, err)
+	}
+	handle.MarkDirty()
+	return done, nil
+}
+
+// Delete removes the record identified by rid.
+func (h *HeapFile) Delete(now sim.Time, rid RID) (sim.Time, error) {
+	handle, done, err := h.pool.Fetch(now, core.LPN(rid.LPN), h.hint())
+	if err != nil {
+		return done, err
+	}
+	defer handle.Release()
+	handle.Lock()
+	defer handle.Unlock()
+	if err := DeleteRecord(handle.Data(), rid.Slot); err != nil {
+		return done, fmt.Errorf("heap %s: delete %v: %w", h.name, rid, err)
+	}
+	handle.MarkDirty()
+	h.mu.Lock()
+	if h.records > 0 {
+		h.records--
+	}
+	h.mu.Unlock()
+	return done, nil
+}
+
+// Scan calls fn for every live record in the heap, in page order.  Returning
+// false stops the scan.  It returns the caller's advanced virtual time.
+func (h *HeapFile) Scan(now sim.Time, fn func(rid RID, rec []byte) bool) (sim.Time, error) {
+	for _, lpn := range h.Pages() {
+		handle, done, err := h.pool.Fetch(now, lpn, h.hint())
+		if err != nil {
+			return done, err
+		}
+		now = done
+		stop := false
+		handle.RLock()
+		err = IterateRecords(handle.Data(), func(slot uint16, rec []byte) bool {
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			if !fn(RID{LPN: uint64(lpn), Slot: slot}, cp) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		handle.RUnlock()
+		handle.Release()
+		if err != nil {
+			return now, err
+		}
+		if stop {
+			break
+		}
+	}
+	return now, nil
+}

@@ -1,0 +1,347 @@
+// Package storage implements the DBMS physical layout used by the
+// reproduction: slotted pages, record identifiers, heap files, extents and
+// tablespaces.  A tablespace is bound to a NoFTL region (the paper's §2
+// coupling of logical storage structures to regions); every page allocated
+// from the tablespace carries the region as its placement hint.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Page type tags stored in the page header.
+const (
+	PageTypeFree     uint8 = 0
+	PageTypeHeap     uint8 = 1
+	PageTypeBTreeLeaf uint8 = 2
+	PageTypeBTreeNode uint8 = 3
+	PageTypeMeta     uint8 = 4
+	PageTypeLog      uint8 = 5
+)
+
+// Slotted page layout constants.
+const (
+	pageMagic      uint16 = 0x4E50 // "NP"
+	PageHeaderSize        = 32
+	slotSize              = 4
+	// deletedSlotOffset marks a slot whose record has been deleted.
+	deletedSlotOffset uint16 = 0xFFFF
+)
+
+// Errors returned by the slotted-page codec.
+var (
+	// ErrPageFull reports that a record does not fit into the page.
+	ErrPageFull = errors.New("storage: page full")
+	// ErrBadSlot reports an access to a slot that does not exist or whose
+	// record has been deleted.
+	ErrBadSlot = errors.New("storage: invalid slot")
+	// ErrRecordTooLarge reports a record that can never fit into a page.
+	ErrRecordTooLarge = errors.New("storage: record larger than page payload")
+	// ErrBadPage reports a buffer that is not a valid slotted page.
+	ErrBadPage = errors.New("storage: not a valid slotted page")
+	// ErrSizeChange reports an in-place update whose new record no longer
+	// fits into the page.
+	ErrSizeChange = errors.New("storage: updated record does not fit")
+)
+
+// Header field offsets.
+const (
+	offMagic     = 0
+	offPageType  = 2
+	offFlags     = 3
+	offObjectID  = 4
+	offLPN       = 8
+	offLSN       = 16
+	offSlotCount = 24
+	offFreeStart = 26
+	offFreeEnd   = 28
+)
+
+// InitPage formats buf as an empty slotted page of the given type belonging
+// to the given object.
+func InitPage(buf []byte, pageType uint8, objectID uint32, lpn uint64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint16(buf[offMagic:], pageMagic)
+	buf[offPageType] = pageType
+	binary.LittleEndian.PutUint32(buf[offObjectID:], objectID)
+	binary.LittleEndian.PutUint64(buf[offLPN:], lpn)
+	binary.LittleEndian.PutUint16(buf[offSlotCount:], 0)
+	binary.LittleEndian.PutUint16(buf[offFreeStart:], PageHeaderSize)
+	binary.LittleEndian.PutUint16(buf[offFreeEnd:], uint16(len(buf)))
+}
+
+// IsFormatted reports whether buf carries the slotted-page magic.
+func IsFormatted(buf []byte) bool {
+	return len(buf) >= PageHeaderSize && binary.LittleEndian.Uint16(buf[offMagic:]) == pageMagic
+}
+
+// PageType returns the page type tag.
+func PageType(buf []byte) uint8 { return buf[offPageType] }
+
+// PageObjectID returns the owning object's id.
+func PageObjectID(buf []byte) uint32 { return binary.LittleEndian.Uint32(buf[offObjectID:]) }
+
+// PageLPN returns the page's own logical page number.
+func PageLPN(buf []byte) uint64 { return binary.LittleEndian.Uint64(buf[offLPN:]) }
+
+// PageLSN returns the log sequence number of the last change to the page.
+func PageLSN(buf []byte) uint64 { return binary.LittleEndian.Uint64(buf[offLSN:]) }
+
+// SetPageLSN stores the log sequence number of the last change to the page.
+func SetPageLSN(buf []byte, lsn uint64) { binary.LittleEndian.PutUint64(buf[offLSN:], lsn) }
+
+// SlotCount returns the number of slots (including deleted ones).
+func SlotCount(buf []byte) int {
+	return int(binary.LittleEndian.Uint16(buf[offSlotCount:]))
+}
+
+func freeStart(buf []byte) int { return int(binary.LittleEndian.Uint16(buf[offFreeStart:])) }
+func freeEnd(buf []byte) int   { return int(binary.LittleEndian.Uint16(buf[offFreeEnd:])) }
+
+func setSlotCount(buf []byte, n int)  { binary.LittleEndian.PutUint16(buf[offSlotCount:], uint16(n)) }
+func setFreeStart(buf []byte, n int)  { binary.LittleEndian.PutUint16(buf[offFreeStart:], uint16(n)) }
+func setFreeEnd(buf []byte, n int)    { binary.LittleEndian.PutUint16(buf[offFreeEnd:], uint16(n)) }
+
+func slotOffsetPos(slot int) int { return PageHeaderSize + slot*slotSize }
+
+func readSlot(buf []byte, slot int) (off, length uint16) {
+	p := slotOffsetPos(slot)
+	return binary.LittleEndian.Uint16(buf[p:]), binary.LittleEndian.Uint16(buf[p+2:])
+}
+
+func writeSlot(buf []byte, slot int, off, length uint16) {
+	p := slotOffsetPos(slot)
+	binary.LittleEndian.PutUint16(buf[p:], off)
+	binary.LittleEndian.PutUint16(buf[p+2:], length)
+}
+
+// FreeSpace returns the number of payload bytes that can still be inserted
+// as a single new record (accounting for its slot entry).
+func FreeSpace(buf []byte) int {
+	if !IsFormatted(buf) {
+		return 0
+	}
+	contiguous := freeEnd(buf) - freeStart(buf) - slotSize*SlotCount(buf)
+	free := contiguous + deletedBytes(buf)
+	free -= slotSize // the new record needs its own slot
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// deletedBytes sums the payload bytes of deleted records (reclaimable by
+// compaction).
+func deletedBytes(buf []byte) int {
+	total := 0
+	for s := 0; s < SlotCount(buf); s++ {
+		off, length := readSlot(buf, s)
+		if off == deletedSlotOffset {
+			total += int(length)
+		}
+	}
+	return total
+}
+
+// NumRecords returns the number of live (non-deleted) records.
+func NumRecords(buf []byte) int {
+	n := 0
+	for s := 0; s < SlotCount(buf); s++ {
+		if off, _ := readSlot(buf, s); off != deletedSlotOffset {
+			n++
+		}
+	}
+	return n
+}
+
+// InsertRecord stores rec in the page and returns its slot number.  Deleted
+// slots are reused and the page is compacted when the free space is
+// fragmented.
+func InsertRecord(buf []byte, rec []byte) (uint16, error) {
+	if !IsFormatted(buf) {
+		return 0, ErrBadPage
+	}
+	if len(rec) > len(buf)-PageHeaderSize-slotSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	// Find a reusable slot (deleted) or plan to append a new one.
+	slot := -1
+	for s := 0; s < SlotCount(buf); s++ {
+		if off, _ := readSlot(buf, s); off == deletedSlotOffset {
+			slot = s
+			break
+		}
+	}
+	newSlot := slot < 0
+	needed := len(rec)
+	if newSlot {
+		needed += slotSize
+	}
+	contiguous := freeEnd(buf) - freeStart(buf) - slotSize*SlotCount(buf)
+	if contiguous < needed {
+		if contiguous+deletedBytes(buf) < needed {
+			return 0, ErrPageFull
+		}
+		compact(buf)
+		contiguous = freeEnd(buf) - freeStart(buf) - slotSize*SlotCount(buf)
+		if contiguous < needed {
+			return 0, ErrPageFull
+		}
+	}
+	if newSlot {
+		slot = SlotCount(buf)
+		setSlotCount(buf, slot+1)
+	}
+	newEnd := freeEnd(buf) - len(rec)
+	copy(buf[newEnd:], rec)
+	setFreeEnd(buf, newEnd)
+	writeSlot(buf, slot, uint16(newEnd), uint16(len(rec)))
+	return uint16(slot), nil
+}
+
+// ReadRecord returns a copy of the record in the given slot.
+func ReadRecord(buf []byte, slot uint16) ([]byte, error) {
+	if !IsFormatted(buf) {
+		return nil, ErrBadPage
+	}
+	if int(slot) >= SlotCount(buf) {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, SlotCount(buf))
+	}
+	off, length := readSlot(buf, int(slot))
+	if off == deletedSlotOffset {
+		return nil, fmt.Errorf("%w: slot %d deleted", ErrBadSlot, slot)
+	}
+	out := make([]byte, length)
+	copy(out, buf[off:int(off)+int(length)])
+	return out, nil
+}
+
+// UpdateRecord replaces the record in the given slot.  The new record may be
+// smaller or equal in size; growing beyond the page's free space fails with
+// ErrSizeChange.
+func UpdateRecord(buf []byte, slot uint16, rec []byte) error {
+	if !IsFormatted(buf) {
+		return ErrBadPage
+	}
+	if int(slot) >= SlotCount(buf) {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, slot)
+	}
+	off, length := readSlot(buf, int(slot))
+	if off == deletedSlotOffset {
+		return fmt.Errorf("%w: slot %d deleted", ErrBadSlot, slot)
+	}
+	if len(rec) <= int(length) {
+		copy(buf[off:], rec)
+		writeSlot(buf, int(slot), off, uint16(len(rec)))
+		return nil
+	}
+	// Relocate within the page: mark old space deleted, insert anew, keep
+	// the same slot number.
+	writeSlot(buf, int(slot), deletedSlotOffset, length)
+	contiguous := freeEnd(buf) - freeStart(buf) - slotSize*SlotCount(buf)
+	if contiguous < len(rec) {
+		if contiguous+deletedBytes(buf) < len(rec) {
+			writeSlot(buf, int(slot), off, length) // restore
+			return fmt.Errorf("%w: need %d bytes", ErrSizeChange, len(rec))
+		}
+		compact(buf)
+	}
+	newEnd := freeEnd(buf) - len(rec)
+	copy(buf[newEnd:], rec)
+	setFreeEnd(buf, newEnd)
+	writeSlot(buf, int(slot), uint16(newEnd), uint16(len(rec)))
+	return nil
+}
+
+// DeleteRecord removes the record in the given slot; the slot number may be
+// reused by later inserts.
+func DeleteRecord(buf []byte, slot uint16) error {
+	if !IsFormatted(buf) {
+		return ErrBadPage
+	}
+	if int(slot) >= SlotCount(buf) {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, slot)
+	}
+	off, length := readSlot(buf, int(slot))
+	if off == deletedSlotOffset {
+		return fmt.Errorf("%w: slot %d already deleted", ErrBadSlot, slot)
+	}
+	writeSlot(buf, int(slot), deletedSlotOffset, length)
+	return nil
+}
+
+// IterateRecords calls fn for every live record in slot order.  Returning
+// false stops the iteration.
+func IterateRecords(buf []byte, fn func(slot uint16, rec []byte) bool) error {
+	if !IsFormatted(buf) {
+		return ErrBadPage
+	}
+	for s := 0; s < SlotCount(buf); s++ {
+		off, length := readSlot(buf, s)
+		if off == deletedSlotOffset {
+			continue
+		}
+		if !fn(uint16(s), buf[off:int(off)+int(length)]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// compact rewrites the record area so that all live records are contiguous
+// at the end of the page and deleted space is reclaimed.
+func compact(buf []byte) {
+	type live struct {
+		slot   int
+		data   []byte
+	}
+	var records []live
+	for s := 0; s < SlotCount(buf); s++ {
+		off, length := readSlot(buf, s)
+		if off == deletedSlotOffset {
+			writeSlot(buf, s, deletedSlotOffset, 0)
+			continue
+		}
+		cp := make([]byte, length)
+		copy(cp, buf[off:int(off)+int(length)])
+		records = append(records, live{slot: s, data: cp})
+	}
+	end := len(buf)
+	for _, r := range records {
+		end -= len(r.data)
+		copy(buf[end:], r.data)
+		writeSlot(buf, r.slot, uint16(end), uint16(len(r.data)))
+	}
+	setFreeEnd(buf, end)
+}
+
+// RID identifies a record: the logical page it lives on and its slot.
+type RID struct {
+	LPN  uint64
+	Slot uint16
+}
+
+// Encode packs the RID into 10 bytes.
+func (r RID) Encode() []byte {
+	out := make([]byte, 10)
+	binary.LittleEndian.PutUint64(out, r.LPN)
+	binary.LittleEndian.PutUint16(out[8:], r.Slot)
+	return out
+}
+
+// DecodeRID unpacks a RID encoded by Encode.
+func DecodeRID(b []byte) (RID, error) {
+	if len(b) < 10 {
+		return RID{}, fmt.Errorf("%w: short RID", ErrBadSlot)
+	}
+	return RID{
+		LPN:  binary.LittleEndian.Uint64(b),
+		Slot: binary.LittleEndian.Uint16(b[8:]),
+	}, nil
+}
+
+func (r RID) String() string { return fmt.Sprintf("rid(%d:%d)", r.LPN, r.Slot) }

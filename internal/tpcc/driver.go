@@ -1,0 +1,233 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"noftl"
+	"noftl/internal/metrics"
+	"noftl/internal/sim"
+	"noftl/internal/txn"
+)
+
+// Results summarizes a measured TPC-C run, carrying everything the paper's
+// Figure 3 table reports: throughput, per-transaction-type response times,
+// 4 KiB read/write latencies, host I/O counts and the GC counters.
+type Results struct {
+	Placement      PlacementKind
+	Warehouses     int
+	Terminals      int
+	SimulatedTime  time.Duration
+	Committed      int64
+	Aborted        int64
+	Retried        int64 // lock-timeout victims that were retried
+	Failed         int64
+	TPS            float64
+	ResponseTimes  map[TxnType]metrics.Snapshot
+	ReadLatency    metrics.Snapshot
+	WriteLatency   metrics.Snapshot
+	HostReadIOs    int64
+	HostWriteIOs   int64
+	GCCopybacks    int64
+	GCErases       int64
+	WriteAmp       float64
+	BufferHitRatio float64
+	Regions        []noftl.RegionStats
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%s placement: %d txns in %.2fs simulated = %.2f TPS (WA %.2f, copybacks %d, erases %d)",
+		r.Placement, r.Committed, r.SimulatedTime.Seconds(), r.TPS, r.WriteAmp, r.GCCopybacks, r.GCErases)
+}
+
+// Run executes the configured workload against an already loaded database
+// and returns the measured results.  Warm-up transactions run first; all
+// statistics are reset before the measured phase.
+func Run(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
+	cfg = cfg.withDefaults()
+
+	if cfg.WarmupTransactions > 0 {
+		warmCfg := cfg
+		warmCfg.Transactions = cfg.WarmupTransactions
+		warmCfg.WarmupTransactions = 0
+		warmCfg.Duration = 0 // the warm-up is always transaction-count based
+		warmCfg.Seed = cfg.Seed + 1
+		if _, err := runPhase(db, sch, warmCfg); err != nil {
+			return Results{}, fmt.Errorf("tpcc warmup: %w", err)
+		}
+		db.ResetStatistics()
+	}
+	return runPhase(db, sch, cfg)
+}
+
+// runPhase executes one closed-loop phase of cfg.Transactions transactions.
+func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
+	var (
+		mu        sync.Mutex
+		committed int64
+		aborted   int64
+		retried   int64
+		failed    int64
+		issued    int64
+		perType   = make(map[TxnType]*metrics.Histogram)
+	)
+	for ty := TxnType(0); ty < txnTypeCount; ty++ {
+		perType[ty] = metrics.NewHistogram()
+	}
+	// claim reserves the next transaction slot.  In transaction-count mode
+	// the closed loop stops once every slot is claimed; in fixed-duration
+	// mode it stops when the terminal's simulated clock passes the duration
+	// (with a generous hard cap as a safety net).
+	const durationModeCap = 10_000_000
+	claim := func(terminalNow sim.Time) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if cfg.Duration > 0 {
+			if terminalNow >= sim.Time(cfg.Duration) || issued >= durationModeCap {
+				return false
+			}
+		} else if issued >= int64(cfg.Transactions) {
+			return false
+		}
+		issued++
+		return true
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Terminals)
+	for term := 0; term < cfg.Terminals; term++ {
+		wg.Add(1)
+		go func(termID int) {
+			defer wg.Done()
+			t := &terminal{
+				db:  db,
+				sch: sch,
+				cfg: cfg,
+				r:   newRNG(cfg.Seed + uint64(termID)*7919),
+				wID: termID%cfg.Warehouses + 1,
+				dID: termID%cfg.DistrictsPerWarehouse + 1,
+			}
+			cursor := sim.NewCursor(db.Clock())
+			for claim(cursor.Now()) {
+				typ := t.pickType()
+				tx := db.BeginAt(cursor.Now())
+				err := t.run(typ, tx)
+				switch {
+				case err == nil:
+					end, cerr := tx.Commit()
+					if cerr != nil {
+						mu.Lock()
+						failed++
+						mu.Unlock()
+						errCh <- cerr
+						return
+					}
+					cursor.AdvanceTo(end)
+					mu.Lock()
+					committed++
+					doCheckpoint := committed%int64(cfg.CheckpointEvery) == 0
+					mu.Unlock()
+					perTypeObserve(perType, &mu, typ, tx.ResponseTime())
+					if doCheckpoint {
+						// Periodic checkpoint: flush dirty pages and truncate
+						// the WAL so the log's footprint in the metadata
+						// region stays bounded.  The checkpoint cost is
+						// charged to this terminal's virtual clock.
+						ckEnd, ckErr := db.Checkpoint(cursor.Now())
+						if ckErr != nil {
+							errCh <- fmt.Errorf("tpcc checkpoint: %w", ckErr)
+							return
+						}
+						cursor.AdvanceTo(ckEnd)
+					}
+				case errors.Is(err, errRollback):
+					end := tx.Abort()
+					cursor.AdvanceTo(end)
+					mu.Lock()
+					aborted++
+					mu.Unlock()
+				case errors.Is(err, txn.ErrLockTimeout):
+					// Deadlock-victim handling: abort and carry on, like a
+					// real TPC-C driver would retry the transaction.
+					end := tx.Abort()
+					cursor.AdvanceTo(end)
+					mu.Lock()
+					retried++
+					mu.Unlock()
+				default:
+					end := tx.Abort()
+					cursor.AdvanceTo(end)
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					errCh <- fmt.Errorf("tpcc %s: %w", typ, err)
+					return
+				}
+				if cfg.ThinkTime > 0 {
+					cursor.Advance(cfg.ThinkTime)
+				}
+			}
+		}(term)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return Results{}, err
+		}
+	}
+
+	stats := db.Stats()
+	res := Results{
+		Placement:      cfg.Placement,
+		Warehouses:     cfg.Warehouses,
+		Terminals:      cfg.Terminals,
+		SimulatedTime:  stats.Simulated,
+		Committed:      committed,
+		Aborted:        aborted,
+		Retried:        retried,
+		Failed:         failed,
+		ResponseTimes:  make(map[TxnType]metrics.Snapshot),
+		ReadLatency:    stats.ReadLatency,
+		WriteLatency:   stats.WriteLatency,
+		HostReadIOs:    stats.Space.HostReads,
+		HostWriteIOs:   stats.Space.HostWrites,
+		GCCopybacks:    stats.Space.GCCopybacks,
+		GCErases:       stats.Space.GCErases,
+		WriteAmp:       stats.Space.WriteAmplification(),
+		BufferHitRatio: stats.Buffer.HitRatio(),
+		Regions:        stats.Space.Regions,
+	}
+	if secs := stats.Simulated.Seconds(); secs > 0 {
+		res.TPS = float64(committed) / secs
+	}
+	for ty, h := range perType {
+		res.ResponseTimes[ty] = h.Snapshot()
+	}
+	return res, nil
+}
+
+func perTypeObserve(perType map[TxnType]*metrics.Histogram, mu *sync.Mutex, typ TxnType, d time.Duration) {
+	mu.Lock()
+	perType[typ].Observe(d)
+	mu.Unlock()
+}
+
+// LoadAndRun is the one-call harness used by benchmarks and the command-line
+// tool: set up the schema with the configured placement, load the data, run
+// the workload and return the results.
+func LoadAndRun(db *noftl.DB, cfg Config) (Results, error) {
+	sch, err := Setup(db, cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	if err := Load(db, sch, cfg); err != nil {
+		return Results{}, err
+	}
+	// The load is not part of the measurement.
+	db.ResetStatistics()
+	return Run(db, sch, cfg)
+}

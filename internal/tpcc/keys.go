@@ -1,0 +1,51 @@
+package tpcc
+
+import "noftl"
+
+// Index key constructors.  All keys are order-preserving composite keys so
+// range and prefix scans work (see btree.KeyBuilder).
+
+func warehouseKey(w int) []byte { return noftl.Key(uint32(w)) }
+
+func districtKey(w, d int) []byte { return noftl.Key(uint32(w), uint32(d)) }
+
+func customerKey(w, d, c int) []byte { return noftl.Key(uint32(w), uint32(d), uint32(c)) }
+
+// customerNameKey indexes customers by (w, d, last name, id); the id suffix
+// makes the key unique within the non-unique name index.
+func customerNameKey(w, d int, last string, c int) []byte {
+	return noftl.NewKeyBuilder().
+		AddUint32(uint32(w)).AddUint32(uint32(d)).AddString(last).AddUint32(uint32(c)).Bytes()
+}
+
+// customerNamePrefix is the scan prefix for all customers with a last name.
+func customerNamePrefix(w, d int, last string) []byte {
+	return noftl.NewKeyBuilder().
+		AddUint32(uint32(w)).AddUint32(uint32(d)).AddString(last).Bytes()
+}
+
+func itemKey(i int) []byte { return noftl.Key(uint32(i)) }
+
+func stockKey(w, i int) []byte { return noftl.Key(uint32(w), uint32(i)) }
+
+func newOrderKey(w, d, o int) []byte { return noftl.Key(uint32(w), uint32(d), uint32(o)) }
+
+// newOrderPrefix is the scan prefix for all undelivered orders of a district.
+func newOrderPrefix(w, d int) []byte { return noftl.Key(uint32(w), uint32(d)) }
+
+func orderKey(w, d, o int) []byte { return noftl.Key(uint32(w), uint32(d), uint32(o)) }
+
+// orderCustKey indexes orders by customer so OrderStatus can find the most
+// recent order of a customer with a prefix scan.
+func orderCustKey(w, d, c, o int) []byte {
+	return noftl.Key(uint32(w), uint32(d), uint32(c), uint32(o))
+}
+
+func orderCustPrefix(w, d, c int) []byte { return noftl.Key(uint32(w), uint32(d), uint32(c)) }
+
+func orderLineKey(w, d, o, number int) []byte {
+	return noftl.Key(uint32(w), uint32(d), uint32(o), uint32(number))
+}
+
+// orderLinePrefix is the scan prefix for all lines of one order.
+func orderLinePrefix(w, d, o int) []byte { return noftl.Key(uint32(w), uint32(d), uint32(o)) }

@@ -1,0 +1,252 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"noftl"
+)
+
+// Load populates the TPC-C database according to the configuration.  The
+// loader follows clause 4.3 of the specification with the cardinalities
+// scaled by the configuration.  It commits in batches so the WAL and buffer
+// pool behave as they would for a bulk load.
+func Load(db *noftl.DB, sch *Schema, cfg Config) error {
+	cfg = cfg.withDefaults()
+	r := newRNG(cfg.Seed)
+
+	if err := loadItems(db, sch, cfg, r); err != nil {
+		return fmt.Errorf("tpcc load items: %w", err)
+	}
+	// Checkpoints between loading steps keep the WAL footprint bounded so
+	// the (small) metadata region never fills up during the bulk load.
+	if _, err := db.Checkpoint(db.SimulatedTime()); err != nil {
+		return fmt.Errorf("tpcc load checkpoint: %w", err)
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if err := loadWarehouse(db, sch, cfg, r, w); err != nil {
+			return fmt.Errorf("tpcc load warehouse %d: %w", w, err)
+		}
+	}
+	// Push the load onto flash so the measured run starts from a clean
+	// buffer-pool state.
+	if _, err := db.Checkpoint(db.SimulatedTime()); err != nil {
+		return fmt.Errorf("tpcc load checkpoint: %w", err)
+	}
+	return nil
+}
+
+const loadBatch = 200
+
+func loadItems(db *noftl.DB, sch *Schema, cfg Config, r *rng) error {
+	tx := db.Begin()
+	for i := 1; i <= cfg.ItemCount; i++ {
+		item := Item{
+			IID:   uint32(i),
+			ImID:  uint32(r.uniform(1, 10000)),
+			Name:  r.aString(14, 24),
+			Price: int64(r.uniform(100, 10000)),
+			Data:  r.dataString(),
+		}
+		rid, err := sch.Item.Insert(tx, item.Encode())
+		if err != nil {
+			return err
+		}
+		if err := sch.IIdx.Insert(tx, itemKey(i), rid); err != nil {
+			return err
+		}
+		if i%loadBatch == 0 {
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = db.Begin()
+		}
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+func loadWarehouse(db *noftl.DB, sch *Schema, cfg Config, r *rng, w int) error {
+	tx := db.Begin()
+	wh := Warehouse{
+		WID: uint32(w), Name: r.aString(6, 10), Street: r.aString(10, 20),
+		City: r.aString(10, 20), State: r.aString(2, 2), Zip: r.zip(),
+		Tax: int64(r.uniform(0, 2000)), YTD: 30000000,
+	}
+	rid, err := sch.Warehouse.Insert(tx, wh.Encode())
+	if err != nil {
+		return err
+	}
+	if err := sch.WIdx.Insert(tx, warehouseKey(w), rid); err != nil {
+		return err
+	}
+	// Stock.
+	for i := 1; i <= cfg.ItemCount; i++ {
+		st := Stock{
+			IID: uint32(i), WID: uint32(w),
+			Quantity: uint32(r.uniform(10, 100)),
+			YTD:      0, OrderCnt: 0, RemoteCnt: 0,
+			Data: r.dataString(),
+		}
+		for d := range st.Dists {
+			st.Dists[d] = r.aString(24, 24)
+		}
+		srid, err := sch.Stock.Insert(tx, st.Encode())
+		if err != nil {
+			return err
+		}
+		if err := sch.SIdx.Insert(tx, stockKey(w, i), srid); err != nil {
+			return err
+		}
+		if i%loadBatch == 0 {
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = db.Begin()
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+	if _, err := db.Checkpoint(db.SimulatedTime()); err != nil {
+		return err
+	}
+	// Districts, customers, history and initial orders.
+	for d := 1; d <= cfg.DistrictsPerWarehouse; d++ {
+		if err := loadDistrict(db, sch, cfg, r, w, d); err != nil {
+			return err
+		}
+		if _, err := db.Checkpoint(db.SimulatedTime()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadDistrict(db *noftl.DB, sch *Schema, cfg Config, r *rng, w, d int) error {
+	tx := db.Begin()
+	dist := District{
+		DID: uint32(d), WID: uint32(w), Name: r.aString(6, 10),
+		Street: r.aString(10, 20), City: r.aString(10, 20), State: r.aString(2, 2),
+		Zip: r.zip(), Tax: int64(r.uniform(0, 2000)), YTD: 3000000,
+		NextOID: uint32(cfg.InitialOrdersPerDistrict + 1),
+	}
+	rid, err := sch.District.Insert(tx, dist.Encode())
+	if err != nil {
+		return err
+	}
+	if err := sch.DIdx.Insert(tx, districtKey(w, d), rid); err != nil {
+		return err
+	}
+
+	// Customers and their history rows.
+	for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+		credit := "GC"
+		if r.Intn(10) == 0 {
+			credit = "BC"
+		}
+		last := lastName((c - 1) % 1000)
+		if cfg.CustomersPerDistrict < 1000 {
+			last = lastName((c - 1) % cfg.CustomersPerDistrict)
+		}
+		cust := Customer{
+			CID: uint32(c), DID: uint32(d), WID: uint32(w),
+			First: r.aString(8, 16), Middle: "OE", Last: last,
+			Street: r.aString(10, 20), City: r.aString(10, 20), State: r.aString(2, 2),
+			Zip: r.zip(), Phone: r.nString(16), Since: 1,
+			Credit: credit, CreditLimit: 5000000, Discount: int64(r.uniform(0, 5000)),
+			Balance: -1000, YTDPayment: 1000, PaymentCnt: 1, DeliveryCnt: 0,
+			Data: r.aString(100, 250),
+		}
+		crid, err := sch.Customer.Insert(tx, cust.Encode())
+		if err != nil {
+			return err
+		}
+		if err := sch.CIdx.Insert(tx, customerKey(w, d, c), crid); err != nil {
+			return err
+		}
+		if err := sch.CNameIdx.Insert(tx, customerNameKey(w, d, cust.Last, c), crid); err != nil {
+			return err
+		}
+		hist := History{
+			CID: uint32(c), CDID: uint32(d), CWID: uint32(w),
+			DID: uint32(d), WID: uint32(w), Date: 1, Amount: 1000, Data: r.aString(12, 24),
+		}
+		if _, err := sch.History.Insert(tx, hist.Encode()); err != nil {
+			return err
+		}
+		if c%loadBatch == 0 {
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = db.Begin()
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+
+	// Initial orders: each of the first InitialOrdersPerDistrict customers
+	// (in a shuffled permutation) has one existing order; the most recent
+	// third is still undelivered (NEW_ORDER rows), per clause 4.3.3.1.
+	tx = db.Begin()
+	perm := r.Perm(cfg.CustomersPerDistrict)
+	for o := 1; o <= cfg.InitialOrdersPerDistrict; o++ {
+		cid := perm[(o-1)%len(perm)] + 1
+		olCnt := r.uniform(5, 15)
+		delivered := o <= cfg.InitialOrdersPerDistrict*2/3
+		carrier := uint32(0)
+		if delivered {
+			carrier = uint32(r.uniform(1, 10))
+		}
+		ord := Order{
+			OID: uint32(o), DID: uint32(d), WID: uint32(w), CID: uint32(cid),
+			EntryDate: 1, CarrierID: carrier, OLCount: uint32(olCnt), AllLocal: 1,
+		}
+		orid, err := sch.Order.Insert(tx, ord.Encode())
+		if err != nil {
+			return err
+		}
+		if err := sch.OIdx.Insert(tx, orderKey(w, d, o), orid); err != nil {
+			return err
+		}
+		if err := sch.OCustIdx.Insert(tx, orderCustKey(w, d, cid, o), orid); err != nil {
+			return err
+		}
+		if !delivered {
+			no := NewOrder{OID: uint32(o), DID: uint32(d), WID: uint32(w)}
+			nrid, err := sch.NewOrder.Insert(tx, no.Encode())
+			if err != nil {
+				return err
+			}
+			if err := sch.NOIdx.Insert(tx, newOrderKey(w, d, o), nrid); err != nil {
+				return err
+			}
+		}
+		for n := 1; n <= olCnt; n++ {
+			ol := OrderLine{
+				OID: uint32(o), DID: uint32(d), WID: uint32(w), Number: uint32(n),
+				ItemID: uint32(r.uniform(1, cfg.ItemCount)), SupplyWID: uint32(w),
+				Quantity: 5, Amount: int64(r.uniform(1, 999999)), DistInfo: r.aString(24, 24),
+			}
+			if delivered {
+				ol.DeliveryDate = 1
+				ol.Amount = 0
+			}
+			olrid, err := sch.OrderLine.Insert(tx, ol.Encode())
+			if err != nil {
+				return err
+			}
+			if err := sch.OLIdx.Insert(tx, orderLineKey(w, d, o, n), olrid); err != nil {
+				return err
+			}
+		}
+		if o%50 == 0 {
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = db.Begin()
+		}
+	}
+	_, err = tx.Commit()
+	return err
+}

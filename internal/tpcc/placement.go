@@ -1,0 +1,208 @@
+package tpcc
+
+// Die allocation for the multi-region placement configuration.
+//
+// The paper distributes the 64 dies over the six regions of Figure 2 "based
+// on sizes of objects and their I/O rate".  Because the reproduction scales
+// the TPC-C cardinalities, the die shares are recomputed for the configured
+// scale from the expected footprint of each object group (initial size plus
+// the growth caused by the measured transactions), instead of hard-coding
+// the paper's 2/11/10/29/6/6 split, which reflects their 100+ warehouse
+// database.
+
+const (
+	heapFillFactor  = 0.90
+	indexFillFactor = 0.65
+	indexEntryExtra = 10 + 6 // RID value + per-entry slot overhead
+	walReservePages = 200    // bounded by the periodic checkpoints
+	pageHeaderBytes = 48
+)
+
+// groupIOWeights are the relative logical I/O rates of the six Figure-2
+// groups per executed transaction, derived from the TPC-C transaction
+// profile (e.g. every NewOrder touches ~10 STOCK rows and ~10 OL_IDX
+// entries, every StockLevel scans ~200 order lines and their stock rows).
+// They play the role of the "I/O rate" input the paper's DBA used when
+// distributing dies over regions.
+var groupIOWeights = []float64{
+	0.5,  // group 0: DBMS metadata, WAL, HISTORY appends
+	10.0, // group 1: ORDERLINE
+	3.0,  // group 2: CUSTOMER
+	22.0, // group 3: OL_IDX + STOCK
+	5.0,  // group 4: NEW_ORDER/ORDER and their indexes
+	7.0,  // group 5: lookup tables and read-mostly indexes
+}
+
+// ioWeightShare is the blend factor between the I/O-rate share and the size
+// share when distributing dies (the paper weighs both).
+const ioWeightShare = 0.5
+
+func heapPages(rows int64, rowSize int, pageSize int) int64 {
+	perPage := int64(float64(pageSize-pageHeaderBytes) * heapFillFactor / float64(rowSize+4))
+	if perPage < 1 {
+		perPage = 1
+	}
+	return (rows + perPage - 1) / perPage
+}
+
+func indexPages(entries int64, keySize int, pageSize int) int64 {
+	perPage := int64(float64(pageSize-pageHeaderBytes) * indexFillFactor / float64(keySize+indexEntryExtra))
+	if perPage < 1 {
+		perPage = 1
+	}
+	return (entries + perPage - 1) / perPage
+}
+
+// estimateGroupPages returns the expected page footprint of each Figure-2
+// group for the given configuration, including the growth produced by the
+// warm-up and measured transactions.
+func estimateGroupPages(cfg Config, pageSize int) []int64 {
+	cfg = cfg.withDefaults()
+	var (
+		w          = int64(cfg.Warehouses)
+		districts  = w * int64(cfg.DistrictsPerWarehouse)
+		customers  = districts * int64(cfg.CustomersPerDistrict)
+		items      = int64(cfg.ItemCount)
+		stock      = w * items
+		initOrders = districts * int64(cfg.InitialOrdersPerDistrict)
+		totalTxns  = int64(cfg.Transactions + cfg.WarmupTransactions)
+		newOrders  = totalTxns * 45 / 100
+		payments   = totalTxns * 43 / 100
+		orders     = initOrders + newOrders
+		orderLines = orders * 10
+		history    = customers + payments
+		newOrderQ  = initOrders/3 + newOrders/10 // undelivered backlog
+	)
+
+	group0 := heapPages(history, historySize, pageSize) + walReservePages
+	group1 := heapPages(orderLines, orderLineSize, pageSize)
+	group2 := heapPages(customers, customerSize, pageSize)
+	group3 := indexPages(orderLines, 16, pageSize) + heapPages(stock, stockSize, pageSize)
+	group4 := heapPages(newOrderQ, newOrderSize, pageSize) +
+		heapPages(orders, orderSize, pageSize) +
+		indexPages(newOrderQ, 12, pageSize) +
+		indexPages(orders, 12, pageSize) +
+		indexPages(orders, 16, pageSize)
+	group5 := indexPages(customers, 12, pageSize) +
+		indexPages(items, 4, pageSize) +
+		indexPages(stock, 8, pageSize) +
+		indexPages(w, 4, pageSize) +
+		indexPages(customers, 28, pageSize) +
+		heapPages(items, itemSize, pageSize) +
+		indexPages(districts, 8, pageSize) +
+		heapPages(w, warehouseSize, pageSize) +
+		heapPages(districts, districtSize, pageSize)
+	return []int64{group0, group1, group2, group3, group4, group5}
+}
+
+// planRegionDies allocates the device's dies to the six groups
+// proportionally to a blend of their estimated footprint and their I/O rate
+// (largest-remainder method, at least one die per group).  It returns nil
+// when the device has fewer dies than groups.
+func planRegionDies(cfg Config, totalDies, pagesPerDie int) []int {
+	groups := estimateGroupPages(cfg, 4096)
+	if totalDies < len(groups) {
+		return nil
+	}
+	var totalPages int64
+	for _, p := range groups {
+		totalPages += p
+	}
+	if totalPages == 0 {
+		totalPages = 1
+	}
+	var totalIO float64
+	for _, w := range groupIOWeights {
+		totalIO += w
+	}
+	share := func(i int) float64 {
+		sizeShare := float64(groups[i]) / float64(totalPages)
+		ioShare := groupIOWeights[i] / totalIO
+		return ioWeightShare*ioShare + (1-ioWeightShare)*sizeShare
+	}
+	dies := make([]int, len(groups))
+	remainders := make([]float64, len(groups))
+	assigned := 0
+	for i := range groups {
+		exact := share(i) * float64(totalDies)
+		dies[i] = int(exact)
+		if dies[i] < 1 {
+			dies[i] = 1
+		}
+		remainders[i] = exact - float64(int(exact))
+		assigned += dies[i]
+	}
+	// Hand out remaining dies by largest remainder; reclaim excess from the
+	// smallest-remainder groups that still have more than one die.
+	for assigned < totalDies {
+		best := -1
+		for i := range groups {
+			if best < 0 || remainders[i] > remainders[best] {
+				best = i
+			}
+		}
+		dies[best]++
+		remainders[best] = -1
+		assigned++
+	}
+	for assigned > totalDies {
+		worst := -1
+		for i := range groups {
+			if dies[i] <= 1 {
+				continue
+			}
+			if worst < 0 || remainders[i] < remainders[worst] {
+				worst = i
+			}
+		}
+		if worst < 0 {
+			return nil
+		}
+		dies[worst]--
+		remainders[worst] = 2 // do not shrink the same group twice in a row
+		assigned--
+	}
+
+	// Fit pass: the I/O-rate blend may leave a group with less capacity than
+	// its estimated footprint.  Move dies from the groups with the most
+	// slack until every group fits (or no donor remains); leftover overflow
+	// is absorbed by the spill-to-default mechanism of the space manager.
+	usablePerDie := int64(float64(pagesPerDie) * 0.85)
+	if usablePerDie < 1 {
+		usablePerDie = 1
+	}
+	for pass := 0; pass < totalDies; pass++ {
+		needy := -1
+		var worstDeficit int64
+		for i := range groups {
+			deficit := groups[i] - int64(dies[i])*usablePerDie
+			if deficit > worstDeficit {
+				worstDeficit = deficit
+				needy = i
+			}
+		}
+		if needy < 0 {
+			break
+		}
+		donor := -1
+		var bestSlack int64
+		for i := range groups {
+			if i == needy || dies[i] <= 1 {
+				continue
+			}
+			slack := int64(dies[i])*usablePerDie - groups[i]
+			// The donor must still fit its own footprint after giving up a
+			// die; among those, pick the one with the most slack.
+			if slack >= usablePerDie && slack > bestSlack {
+				bestSlack = slack
+				donor = i
+			}
+		}
+		if donor < 0 {
+			break
+		}
+		dies[donor]--
+		dies[needy]++
+	}
+	return dies
+}

@@ -1,0 +1,107 @@
+package tpcc
+
+import "testing"
+
+func TestEstimateGroupPages(t *testing.T) {
+	cfg := DefaultConfig().withDefaults()
+	groups := estimateGroupPages(cfg, 4096)
+	if len(groups) != 6 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	for i, p := range groups {
+		if p <= 0 {
+			t.Fatalf("group %d has non-positive footprint %d", i, p)
+		}
+	}
+	// ORDERLINE (group 1) must be the largest heap group — it dominates the
+	// TPC-C footprint at every scale.
+	for i, p := range groups {
+		if i != 1 && p > groups[1] {
+			t.Fatalf("group %d (%d pages) larger than ORDERLINE group (%d)", i, p, groups[1])
+		}
+	}
+	// More transactions mean more growth for ORDERLINE and HISTORY.
+	bigger := cfg
+	bigger.Transactions *= 10
+	groups2 := estimateGroupPages(bigger, 4096)
+	if groups2[1] <= groups[1] || groups2[0] <= groups[0] {
+		t.Fatalf("growth not reflected: %v vs %v", groups2, groups)
+	}
+}
+
+func TestPlanRegionDies(t *testing.T) {
+	cfg := DefaultConfig().withDefaults()
+	for _, tc := range []struct {
+		dies        int
+		pagesPerDie int
+	}{
+		{8, 512}, {16, 640}, {64, 1408}, {6, 2048},
+	} {
+		dies := planRegionDies(cfg, tc.dies, tc.pagesPerDie)
+		if dies == nil {
+			t.Fatalf("planRegionDies(%d) returned nil", tc.dies)
+		}
+		if len(dies) != 6 {
+			t.Fatalf("plan has %d groups", len(dies))
+		}
+		sum := 0
+		for i, d := range dies {
+			if d < 1 {
+				t.Fatalf("%d dies: group %d got %d dies", tc.dies, i, d)
+			}
+			sum += d
+		}
+		if sum != tc.dies {
+			t.Fatalf("%d dies: plan distributes %d", tc.dies, sum)
+		}
+	}
+	// Too few dies for six groups.
+	if planRegionDies(cfg, 4, 512) != nil {
+		t.Fatal("plan produced for a 4-die device")
+	}
+	// With plenty of dies and capacity, the hottest group (OL_IDX + STOCK)
+	// gets the largest share, mirroring the paper's Figure 2 where it holds
+	// 29 of 64 dies.
+	dies := planRegionDies(cfg, 64, 4096)
+	largest := 0
+	for i, d := range dies {
+		if d > dies[largest] {
+			largest = i
+		}
+	}
+	if largest != 3 && largest != 1 {
+		t.Fatalf("largest region is group %d (%v), expected the STOCK/OL_IDX or ORDERLINE group", largest, dies)
+	}
+}
+
+func TestFigure2GroupsCoverEveryObject(t *testing.T) {
+	groups := figure2Groups()
+	if len(groups) != 6 {
+		t.Fatalf("expected 6 groups, got %d", len(groups))
+	}
+	seen := map[string]int{}
+	for _, g := range groups {
+		for _, o := range g.Objects {
+			seen[o]++
+		}
+	}
+	all := []string{
+		TableWarehouse, TableDistrict, TableCustomer, TableHistory, TableNewOrder,
+		TableOrder, TableOrderLine, TableItem, TableStock,
+		IndexWarehouse, IndexDistrict, IndexCustomer, IndexCustName, IndexItem,
+		IndexStock, IndexNewOrder, IndexOrder, IndexOrderCust, IndexOrderLine,
+	}
+	for _, name := range all {
+		if seen[name] != 1 {
+			t.Errorf("object %s appears %d times in the Figure 2 grouping", name, seen[name])
+		}
+	}
+	// Shares sum to 1 (the paper's 64 dies).
+	var total float64
+	for _, g := range groups {
+		total += g.Share
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("shares sum to %v", total)
+	}
+}

@@ -1,0 +1,216 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"noftl"
+	"noftl/internal/core"
+)
+
+// objectGroup names one of the six regions of the paper's Figure 2 and
+// lists the objects placed in it.  Group 0 is the metadata/HISTORY group and
+// stays in the default region (which also holds the catalog and the WAL).
+type objectGroup struct {
+	Region  string
+	Share   float64 // share of the device's dies (Figure 2: 2/11/10/29/6/6 of 64)
+	Objects []string
+}
+
+// figure2Groups is the multi-region data placement configuration of the
+// paper's Figure 2.
+func figure2Groups() []objectGroup {
+	return []objectGroup{
+		{Region: "", Share: 2.0 / 64, Objects: []string{TableHistory}}, // + DBMS metadata/WAL (default region)
+		{Region: "rgOrderline", Share: 11.0 / 64, Objects: []string{TableOrderLine}},
+		{Region: "rgCustomer", Share: 10.0 / 64, Objects: []string{TableCustomer}},
+		{Region: "rgStock", Share: 29.0 / 64, Objects: []string{IndexOrderLine, TableStock}},
+		{Region: "rgOrders", Share: 6.0 / 64, Objects: []string{
+			TableNewOrder, TableOrder, IndexNewOrder, IndexOrder, IndexOrderCust}},
+		{Region: "rgLookup", Share: 6.0 / 64, Objects: []string{
+			IndexCustomer, IndexItem, IndexStock, IndexWarehouse,
+			IndexCustName, TableItem, IndexDistrict, TableWarehouse, TableDistrict}},
+	}
+}
+
+// Schema holds handles to every TPC-C table and index after setup.
+type Schema struct {
+	Warehouse *noftl.Table
+	District  *noftl.Table
+	Customer  *noftl.Table
+	History   *noftl.Table
+	NewOrder  *noftl.Table
+	Order     *noftl.Table
+	OrderLine *noftl.Table
+	Item      *noftl.Table
+	Stock     *noftl.Table
+
+	WIdx      *noftl.Index
+	DIdx      *noftl.Index
+	CIdx      *noftl.Index
+	CNameIdx  *noftl.Index
+	IIdx      *noftl.Index
+	SIdx      *noftl.Index
+	NOIdx     *noftl.Index
+	OIdx      *noftl.Index
+	OCustIdx  *noftl.Index
+	OLIdx     *noftl.Index
+	Placement PlacementKind
+}
+
+// tableColumns returns an abbreviated column list for the catalog (the row
+// codecs in rows.go define the physical layout).
+func tableColumns(names ...string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n + " INTEGER"
+	}
+	return out
+}
+
+// Setup creates regions (for the multi-region configuration), tablespaces,
+// tables and indexes.  It returns handles to all objects.
+func Setup(db *noftl.DB, cfg Config) (*Schema, error) {
+	cfg = cfg.withDefaults()
+	placement := map[string]string{} // object -> tablespace
+	totalDies := db.Device().Geometry().Dies()
+
+	switch cfg.Placement {
+	case PlacementTraditional:
+		// One tablespace for everything, in the default region.
+		if err := db.CreateTablespace("tsAll", "", 0); err != nil {
+			return nil, err
+		}
+		for _, g := range figure2Groups() {
+			for _, obj := range g.Objects {
+				placement[obj] = "tsAll"
+			}
+		}
+	case PlacementRegions:
+		groups := figure2Groups()
+		// Distribute the dies over the six groups "based on sizes of objects
+		// and their I/O rate" (paper §3): proportionally to the estimated
+		// footprint of each group for this configuration's scale, at least
+		// one die per group.  Group 0 keeps its dies as the (shrunken)
+		// default region, which also holds the catalog and the WAL.
+		dies := planRegionDies(cfg, totalDies, db.Device().Geometry().PagesPerDie())
+		if dies == nil {
+			return nil, fmt.Errorf("tpcc: device has too few dies (%d) for the multi-region configuration", totalDies)
+		}
+		for gi := 1; gi < len(groups); gi++ {
+			g := groups[gi]
+			if _, err := db.CreateRegion(core.RegionSpec{Name: g.Region, MaxChips: dies[gi]}); err != nil {
+				return nil, fmt.Errorf("tpcc: create region %s (%d dies): %w", g.Region, dies[gi], err)
+			}
+			tsName := "ts" + g.Region[2:]
+			if err := db.CreateTablespace(tsName, g.Region, 0); err != nil {
+				return nil, err
+			}
+			for _, obj := range g.Objects {
+				placement[obj] = tsName
+			}
+		}
+		// Group 0 (metadata + HISTORY) stays in the default region via a
+		// dedicated tablespace bound to DEFAULT.
+		if err := db.CreateTablespace("tsMeta", "", 0); err != nil {
+			return nil, err
+		}
+		for _, obj := range groups[0].Objects {
+			placement[obj] = "tsMeta"
+		}
+	}
+
+	sch := &Schema{Placement: cfg.Placement}
+
+	createTable := func(name, cols string) (*noftl.Table, error) {
+		ts := placement[name]
+		ddl := fmt.Sprintf("CREATE TABLE %s (%s)", name, cols)
+		if ts != "" {
+			ddl += " TABLESPACE " + ts
+		}
+		if err := db.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("tpcc: %s: %w", ddl, err)
+		}
+		t, _ := db.Table(name)
+		return t, nil
+	}
+	createIndex := func(name, table, cols string, unique bool) (*noftl.Index, error) {
+		ts := placement[name]
+		u := ""
+		if unique {
+			u = "UNIQUE "
+		}
+		ddl := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", u, name, table, cols)
+		if ts != "" {
+			ddl += " TABLESPACE " + ts
+		}
+		if err := db.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("tpcc: %s: %w", ddl, err)
+		}
+		i, _ := db.Index(name)
+		return i, nil
+	}
+
+	var err error
+	if sch.Warehouse, err = createTable(TableWarehouse, tableColumns("w_id", "w_ytd")); err != nil {
+		return nil, err
+	}
+	if sch.District, err = createTable(TableDistrict, tableColumns("d_id", "d_w_id", "d_next_o_id")); err != nil {
+		return nil, err
+	}
+	if sch.Customer, err = createTable(TableCustomer, tableColumns("c_id", "c_d_id", "c_w_id", "c_balance")); err != nil {
+		return nil, err
+	}
+	if sch.History, err = createTable(TableHistory, tableColumns("h_c_id", "h_amount")); err != nil {
+		return nil, err
+	}
+	if sch.NewOrder, err = createTable(TableNewOrder, tableColumns("no_o_id", "no_d_id", "no_w_id")); err != nil {
+		return nil, err
+	}
+	if sch.Order, err = createTable(TableOrder, tableColumns("o_id", "o_d_id", "o_w_id", "o_c_id")); err != nil {
+		return nil, err
+	}
+	if sch.OrderLine, err = createTable(TableOrderLine, tableColumns("ol_o_id", "ol_d_id", "ol_w_id", "ol_number")); err != nil {
+		return nil, err
+	}
+	if sch.Item, err = createTable(TableItem, tableColumns("i_id", "i_price")); err != nil {
+		return nil, err
+	}
+	if sch.Stock, err = createTable(TableStock, tableColumns("s_i_id", "s_w_id", "s_quantity")); err != nil {
+		return nil, err
+	}
+
+	if sch.WIdx, err = createIndex(IndexWarehouse, TableWarehouse, "w_id", true); err != nil {
+		return nil, err
+	}
+	if sch.DIdx, err = createIndex(IndexDistrict, TableDistrict, "d_w_id, d_id", true); err != nil {
+		return nil, err
+	}
+	if sch.CIdx, err = createIndex(IndexCustomer, TableCustomer, "c_w_id, c_d_id, c_id", true); err != nil {
+		return nil, err
+	}
+	if sch.CNameIdx, err = createIndex(IndexCustName, TableCustomer, "c_w_id, c_d_id, c_last, c_id", false); err != nil {
+		return nil, err
+	}
+	if sch.IIdx, err = createIndex(IndexItem, TableItem, "i_id", true); err != nil {
+		return nil, err
+	}
+	if sch.SIdx, err = createIndex(IndexStock, TableStock, "s_w_id, s_i_id", true); err != nil {
+		return nil, err
+	}
+	if sch.NOIdx, err = createIndex(IndexNewOrder, TableNewOrder, "no_w_id, no_d_id, no_o_id", true); err != nil {
+		return nil, err
+	}
+	if sch.OIdx, err = createIndex(IndexOrder, TableOrder, "o_w_id, o_d_id, o_id", true); err != nil {
+		return nil, err
+	}
+	if sch.OCustIdx, err = createIndex(IndexOrderCust, TableOrder, "o_w_id, o_d_id, o_c_id, o_id", false); err != nil {
+		return nil, err
+	}
+	if sch.OLIdx, err = createIndex(IndexOrderLine, TableOrderLine, "ol_w_id, ol_d_id, ol_o_id, ol_number", true); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}

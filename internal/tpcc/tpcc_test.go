@@ -1,0 +1,451 @@
+package tpcc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"noftl"
+	"noftl/internal/flash"
+)
+
+// testDB builds a database sized for the tiny TPC-C configuration.
+func testDB(t *testing.T, placement PlacementKind) *noftl.DB {
+	t.Helper()
+	cfg := noftl.DefaultConfig()
+	cfg.Flash.Geometry = flash.Geometry{
+		Channels: 4, DiesPerChannel: 2, PlanesPerDie: 1,
+		BlocksPerDie: 128, PagesPerBlock: 32, PageSize: 2048,
+	}
+	cfg.BufferPoolPages = 256
+	db, err := noftl.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = placement
+	return db
+}
+
+func TestRowCodecsRoundTrip(t *testing.T) {
+	w := Warehouse{WID: 3, Name: "Acme", Street: "Main St 1", City: "Springfield", State: "AA", Zip: "123451111", Tax: 1500, YTD: 42}
+	if got, err := DecodeWarehouse(w.Encode()); err != nil || got != w {
+		t.Fatalf("warehouse: %+v vs %+v (%v)", got, w, err)
+	}
+	d := District{DID: 7, WID: 3, Name: "D7", Street: "s", City: "c", State: "ST", Zip: "000001111", Tax: 10, YTD: 20, NextOID: 3001}
+	if got, err := DecodeDistrict(d.Encode()); err != nil || got != d {
+		t.Fatalf("district: %+v (%v)", got, err)
+	}
+	c := Customer{CID: 1, DID: 2, WID: 3, First: "Jane", Middle: "OE", Last: "BARBARBAR", Street: "x", City: "y",
+		State: "ZZ", Zip: "999991111", Phone: "0123456789012345", Since: 5, Credit: "GC", CreditLimit: 50000,
+		Discount: 100, Balance: -10, YTDPayment: 10, PaymentCnt: 1, DeliveryCnt: 0, Data: "some data"}
+	if got, err := DecodeCustomer(c.Encode()); err != nil || got != c {
+		t.Fatalf("customer: %+v (%v)", got, err)
+	}
+	h := History{CID: 1, CDID: 2, CWID: 3, DID: 4, WID: 5, Date: 6, Amount: 7, Data: "hist"}
+	if got, err := DecodeHistory(h.Encode()); err != nil || got != h {
+		t.Fatalf("history: %+v (%v)", got, err)
+	}
+	n := NewOrder{OID: 9, DID: 8, WID: 7}
+	if got, err := DecodeNewOrder(n.Encode()); err != nil || got != n {
+		t.Fatalf("neworder: %+v (%v)", got, err)
+	}
+	o := Order{OID: 1, DID: 2, WID: 3, CID: 4, EntryDate: 5, CarrierID: 6, OLCount: 7, AllLocal: 1}
+	if got, err := DecodeOrder(o.Encode()); err != nil || got != o {
+		t.Fatalf("order: %+v (%v)", got, err)
+	}
+	ol := OrderLine{OID: 1, DID: 2, WID: 3, Number: 4, ItemID: 5, SupplyWID: 6, DeliveryDate: 7, Quantity: 8, Amount: 9, DistInfo: "dist"}
+	if got, err := DecodeOrderLine(ol.Encode()); err != nil || got != ol {
+		t.Fatalf("orderline: %+v (%v)", got, err)
+	}
+	it := Item{IID: 1, ImID: 2, Name: "widget", Price: 399, Data: "ORIGINAL stuff"}
+	if got, err := DecodeItem(it.Encode()); err != nil || got != it {
+		t.Fatalf("item: %+v (%v)", got, err)
+	}
+	s := Stock{IID: 1, WID: 2, Quantity: 50, YTD: 5, OrderCnt: 3, RemoteCnt: 1, Data: "stock data"}
+	for i := range s.Dists {
+		s.Dists[i] = "distinfo"
+	}
+	if got, err := DecodeStock(s.Encode()); err != nil || got != s {
+		t.Fatalf("stock: %+v (%v)", got, err)
+	}
+	// Short buffers are rejected.
+	if _, err := DecodeWarehouse(nil); err == nil {
+		t.Fatal("short warehouse accepted")
+	}
+	if _, err := DecodeStock(make([]byte, 10)); err == nil {
+		t.Fatal("short stock accepted")
+	}
+}
+
+func TestStockCodecProperty(t *testing.T) {
+	f := func(iid, wid, qty uint32, ytd int64, oc, rc uint32) bool {
+		s := Stock{IID: iid, WID: wid, Quantity: qty, YTD: ytd, OrderCnt: oc, RemoteCnt: rc, Data: "d"}
+		got, err := DecodeStock(s.Encode())
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomHelpers(t *testing.T) {
+	r := newRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.customerID(300); v < 1 || v > 300 {
+			t.Fatalf("customerID out of range: %d", v)
+		}
+		if v := r.itemID(100); v < 1 || v > 100 {
+			t.Fatalf("itemID out of range: %d", v)
+		}
+		if v := r.nuRand(255, 0, 0, 999); v < 0 || v > 999 {
+			t.Fatalf("nuRand out of range: %d", v)
+		}
+	}
+	if lastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("lastName(371) = %q", lastName(371))
+	}
+	if len(r.zip()) != 9 {
+		t.Fatalf("zip length %d", len(r.zip()))
+	}
+	if s := r.aString(5, 10); len(s) < 5 || len(s) > 10 {
+		t.Fatalf("aString length %d", len(s))
+	}
+	if s := r.nString(8); len(s) != 8 {
+		t.Fatalf("nString length %d", len(s))
+	}
+	if n := r.lastNameRun(300); n == "" {
+		t.Fatal("empty run last name")
+	}
+	if n := r.lastNameLoad(300); n == "" {
+		t.Fatal("empty load last name")
+	}
+	found := false
+	for i := 0; i < 200; i++ {
+		if len(r.dataString()) >= 26 && len(r.dataString()) <= 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dataString lengths out of range")
+	}
+	// The transaction mix respects the standard shares, approximately.
+	term := &terminal{r: newRNG(7), cfg: DefaultConfig()}
+	counts := map[TxnType]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[term.pickType()]++
+	}
+	if float64(counts[TxnNewOrder])/draws < 0.40 || float64(counts[TxnPayment])/draws < 0.38 {
+		t.Fatalf("mix off: %+v", counts)
+	}
+	for _, ty := range []TxnType{TxnOrderStatus, TxnDelivery, TxnStockLevel} {
+		share := float64(counts[ty]) / draws
+		if share < 0.02 || share > 0.07 {
+			t.Fatalf("mix share of %s = %.3f", ty, share)
+		}
+	}
+	for ty := TxnType(0); ty <= txnTypeCount; ty++ {
+		if ty.String() == "" {
+			t.Fatal("empty type name")
+		}
+	}
+}
+
+func TestSetupCreatesSchemaTraditional(t *testing.T) {
+	db := testDB(t, PlacementTraditional)
+	defer db.Close()
+	cfg := TinyConfig()
+	cfg.Placement = PlacementTraditional
+	sch, err := Setup(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Placement != PlacementTraditional {
+		t.Fatal("placement not recorded")
+	}
+	// All nine tables and ten indexes exist.
+	for _, name := range []string{TableWarehouse, TableDistrict, TableCustomer, TableHistory,
+		TableNewOrder, TableOrder, TableOrderLine, TableItem, TableStock} {
+		if _, ok := db.Table(name); !ok {
+			t.Fatalf("table %s missing", name)
+		}
+	}
+	for _, name := range []string{IndexWarehouse, IndexDistrict, IndexCustomer, IndexCustName,
+		IndexItem, IndexStock, IndexNewOrder, IndexOrder, IndexOrderCust, IndexOrderLine} {
+		if _, ok := db.Index(name); !ok {
+			t.Fatalf("index %s missing", name)
+		}
+	}
+	// Traditional placement creates no extra regions.
+	if got := len(db.SpaceManager().Stats().Regions); got != 1 {
+		t.Fatalf("traditional placement created %d regions", got)
+	}
+}
+
+func TestSetupCreatesSchemaRegions(t *testing.T) {
+	db := testDB(t, PlacementRegions)
+	defer db.Close()
+	cfg := TinyConfig()
+	cfg.Placement = PlacementRegions
+	if _, err := Setup(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := db.SpaceManager().Stats()
+	// Default region plus the five named regions of Figure 2 (group 0 stays
+	// in the default region).
+	if len(st.Regions) != 6 {
+		t.Fatalf("expected 6 regions, got %d", len(st.Regions))
+	}
+	totalDies := 0
+	for _, r := range st.Regions {
+		if len(r.Dies) == 0 {
+			t.Fatalf("region %s has no dies", r.Name)
+		}
+		totalDies += len(r.Dies)
+	}
+	if totalDies != db.Device().Geometry().Dies() {
+		t.Fatalf("dies distributed = %d, want %d", totalDies, db.Device().Geometry().Dies())
+	}
+	// The biggest region must be the STOCK/OL_IDX one, as in Figure 2.
+	stock, ok := st.RegionByName("rgStock")
+	if !ok {
+		t.Fatal("rgStock missing")
+	}
+	for _, r := range st.Regions {
+		if r.Name != "rgStock" && len(r.Dies) > len(stock.Dies) {
+			t.Fatalf("region %s (%d dies) larger than rgStock (%d)", r.Name, len(r.Dies), len(stock.Dies))
+		}
+	}
+}
+
+func TestLoadPopulatesDatabase(t *testing.T) {
+	db := testDB(t, PlacementTraditional)
+	defer db.Close()
+	cfg := TinyConfig()
+	cfg.Placement = PlacementTraditional
+	sch, err := Setup(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(db, sch, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.Item.RowCount(); got != int64(cfg.ItemCount) {
+		t.Fatalf("items = %d", got)
+	}
+	if got := sch.Warehouse.RowCount(); got != int64(cfg.Warehouses) {
+		t.Fatalf("warehouses = %d", got)
+	}
+	wantDistricts := int64(cfg.Warehouses * cfg.DistrictsPerWarehouse)
+	if got := sch.District.RowCount(); got != wantDistricts {
+		t.Fatalf("districts = %d, want %d", got, wantDistricts)
+	}
+	wantCustomers := wantDistricts * int64(cfg.CustomersPerDistrict)
+	if got := sch.Customer.RowCount(); got != wantCustomers {
+		t.Fatalf("customers = %d, want %d", got, wantCustomers)
+	}
+	if got := sch.Stock.RowCount(); got != int64(cfg.Warehouses*cfg.ItemCount) {
+		t.Fatalf("stock = %d", got)
+	}
+	wantOrders := wantDistricts * int64(cfg.InitialOrdersPerDistrict)
+	if got := sch.Order.RowCount(); got != wantOrders {
+		t.Fatalf("orders = %d, want %d", got, wantOrders)
+	}
+	if got := sch.OrderLine.RowCount(); got < wantOrders*5 {
+		t.Fatalf("order lines = %d, want >= %d", got, wantOrders*5)
+	}
+	// A third of the initial orders are undelivered.
+	if got := sch.NewOrder.RowCount(); got == 0 || got >= wantOrders {
+		t.Fatalf("new orders = %d", got)
+	}
+	if got := sch.History.RowCount(); got != wantCustomers {
+		t.Fatalf("history = %d", got)
+	}
+	// Index cardinalities match their tables.
+	if sch.CIdx.Entries() != wantCustomers || sch.CNameIdx.Entries() != wantCustomers {
+		t.Fatalf("customer index entries: %d / %d", sch.CIdx.Entries(), sch.CNameIdx.Entries())
+	}
+	if sch.OIdx.Entries() != wantOrders || sch.OCustIdx.Entries() != wantOrders {
+		t.Fatalf("order index entries: %d / %d", sch.OIdx.Entries(), sch.OCustIdx.Entries())
+	}
+	if sch.SIdx.Entries() != int64(cfg.Warehouses*cfg.ItemCount) {
+		t.Fatalf("stock index entries: %d", sch.SIdx.Entries())
+	}
+	// The load reached flash (checkpoint at the end of Load).
+	if db.SpaceManager().Stats().ValidPages == 0 {
+		t.Fatal("load never reached flash")
+	}
+}
+
+func TestTransactionsModifyState(t *testing.T) {
+	db := testDB(t, PlacementTraditional)
+	defer db.Close()
+	cfg := TinyConfig()
+	cfg.Placement = PlacementTraditional
+	sch, err := Setup(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(db, sch, cfg); err != nil {
+		t.Fatal(err)
+	}
+	term := &terminal{db: db, sch: sch, cfg: cfg, r: newRNG(3), wID: 1, dID: 1}
+
+	// NewOrder: district next_o_id advances and order lines appear.
+	ordersBefore := sch.Order.RowCount()
+	linesBefore := sch.OrderLine.RowCount()
+	ran := 0
+	for ran < 5 {
+		tx := db.Begin()
+		err := term.newOrder(tx)
+		if err != nil && !errorsIsRollback(err) {
+			t.Fatalf("newOrder: %v", err)
+		}
+		if err != nil {
+			tx.Abort()
+			continue
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		ran++
+	}
+	if sch.Order.RowCount() != ordersBefore+5 {
+		t.Fatalf("orders after NewOrder = %d, want %d", sch.Order.RowCount(), ordersBefore+5)
+	}
+	if sch.OrderLine.RowCount() < linesBefore+5*5 {
+		t.Fatalf("order lines did not grow: %d", sch.OrderLine.RowCount())
+	}
+
+	// Payment: warehouse YTD grows and a history row is appended.
+	histBefore := sch.History.RowCount()
+	tx := db.Begin()
+	if err := term.payment(tx); err != nil {
+		t.Fatalf("payment: %v", err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sch.History.RowCount() != histBefore+1 {
+		t.Fatalf("history rows = %d", sch.History.RowCount())
+	}
+	tx = db.Begin()
+	wh, _, err := term.getWarehouse(tx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh.YTD <= 30000000 {
+		t.Fatalf("warehouse YTD not updated: %d", wh.YTD)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// OrderStatus and StockLevel are read-only and must not fail.
+	tx = db.Begin()
+	if err := term.orderStatus(tx); err != nil {
+		t.Fatalf("orderStatus: %v", err)
+	}
+	if err := term.stockLevel(tx); err != nil {
+		t.Fatalf("stockLevel: %v", err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delivery: the NEW_ORDER backlog shrinks.
+	noBefore := sch.NewOrder.RowCount()
+	if noBefore == 0 {
+		t.Fatal("no undelivered orders to deliver")
+	}
+	tx = db.Begin()
+	if err := term.delivery(tx); err != nil {
+		t.Fatalf("delivery: %v", err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sch.NewOrder.RowCount() >= noBefore {
+		t.Fatalf("delivery did not consume new orders: %d -> %d", noBefore, sch.NewOrder.RowCount())
+	}
+}
+
+func errorsIsRollback(err error) bool { return err != nil && errorsIs(err, errRollback) }
+
+// errorsIs avoids importing errors twice in this test file's helpers.
+func errorsIs(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := e.(unwrapper)
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func TestRunTinyWorkloadBothPlacements(t *testing.T) {
+	for _, placement := range []PlacementKind{PlacementTraditional, PlacementRegions} {
+		placement := placement
+		t.Run(placement.String(), func(t *testing.T) {
+			db := testDB(t, placement)
+			defer db.Close()
+			cfg := TinyConfig()
+			cfg.Placement = placement
+			cfg.Transactions = 300
+			res, err := LoadAndRun(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed != 0 {
+				t.Fatalf("failed transactions: %d", res.Failed)
+			}
+			if res.Committed+res.Aborted != int64(cfg.Transactions) {
+				t.Fatalf("committed+aborted = %d, want %d", res.Committed+res.Aborted, cfg.Transactions)
+			}
+			if res.TPS <= 0 || res.SimulatedTime <= 0 {
+				t.Fatalf("TPS/time: %v %v", res.TPS, res.SimulatedTime)
+			}
+			if res.ResponseTimes[TxnNewOrder].Count == 0 || res.ResponseTimes[TxnPayment].Count == 0 {
+				t.Fatalf("missing response times: %+v", res.ResponseTimes)
+			}
+			if res.ResponseTimes[TxnNewOrder].Mean <= 0 {
+				t.Fatal("zero NewOrder response time")
+			}
+			if res.HostWriteIOs == 0 {
+				t.Fatal("no host writes measured (WAL flushes should write)")
+			}
+			if res.String() == "" {
+				t.Fatal("empty results string")
+			}
+			if placement == PlacementRegions && len(res.Regions) != 6 {
+				t.Fatalf("expected 6 regions in results, got %d", len(res.Regions))
+			}
+		})
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	if c.Warehouses != 1 || c.Terminals <= 0 || c.Transactions <= 0 || c.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if DefaultConfig().Placement != PlacementRegions {
+		t.Fatal("default placement should be regions")
+	}
+	if TinyConfig().Warehouses != 1 {
+		t.Fatal("tiny config wrong")
+	}
+	if PlacementTraditional.String() == PlacementRegions.String() {
+		t.Fatal("placement names collide")
+	}
+	// InitialOrders is clamped to the customer count.
+	c = Config{CustomersPerDistrict: 10, InitialOrdersPerDistrict: 100}
+	if c.withDefaults().InitialOrdersPerDistrict != 10 {
+		t.Fatal("initial orders not clamped")
+	}
+}

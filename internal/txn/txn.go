@@ -1,0 +1,310 @@
+// Package txn provides the transaction manager of the reproduction's storage
+// engine: transaction identities, strict two-phase locking on logical keys,
+// commit/abort bookkeeping and per-transaction virtual-time accounting.
+//
+// Lock waits are real (goroutine blocking); the virtual-time model charges
+// only I/O and CPU costs to transaction response times, which is sufficient
+// for the paper's experiments (they compare storage configurations, not
+// concurrency-control schemes).  TPC-C transactions acquire their locks in a
+// canonical order, so deadlocks cannot form; a lock-wait timeout is provided
+// as a safety net and surfaces as ErrLockTimeout.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noftl/internal/sim"
+	"noftl/internal/wal"
+)
+
+// LockMode is the requested access mode for a key.
+type LockMode int
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+// Errors returned by the transaction manager.
+var (
+	// ErrLockTimeout reports a lock wait that exceeded the configured
+	// timeout (treated as a deadlock victim).
+	ErrLockTimeout = errors.New("txn: lock wait timeout")
+	// ErrTxnDone reports an operation on a committed or aborted transaction.
+	ErrTxnDone = errors.New("txn: transaction already finished")
+)
+
+// lockState is the state of one lockable key.
+type lockState struct {
+	cond    *sync.Cond
+	readers map[uint64]int // txn id -> hold count
+	writer  uint64         // txn id holding exclusively, 0 if none
+	wcount  int
+	waiting int // transactions currently blocked on this key
+}
+
+// LockManager implements strict two-phase locking over string keys.
+type LockManager struct {
+	mu      sync.Mutex
+	locks   map[string]*lockState
+	timeout time.Duration
+	waits   int64
+}
+
+// NewLockManager creates a lock manager with the given wait timeout (zero
+// selects one second).
+func NewLockManager(timeout time.Duration) *LockManager {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &LockManager{locks: make(map[string]*lockState), timeout: timeout}
+}
+
+// Waits returns the number of lock acquisitions that had to wait.
+func (lm *LockManager) Waits() int64 { return atomic.LoadInt64(&lm.waits) }
+
+func (lm *LockManager) state(key string) *lockState {
+	ls, ok := lm.locks[key]
+	if !ok {
+		ls = &lockState{readers: make(map[uint64]int)}
+		ls.cond = sync.NewCond(&lm.mu)
+		lm.locks[key] = ls
+	}
+	return ls
+}
+
+// Lock acquires key in the given mode on behalf of txnID, blocking until the
+// lock is granted or the timeout expires.  Re-acquiring a lock already held
+// (including upgrading shared to exclusive when the transaction is the sole
+// reader) succeeds.
+func (lm *LockManager) Lock(txnID uint64, key string, mode LockMode) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	ls := lm.state(key)
+	deadline := time.Now().Add(lm.timeout)
+	waited := false
+	for {
+		holder := ls.writer == txnID || ls.readers[txnID] > 0
+		// A newly arriving request yields to transactions that are already
+		// waiting (simple fairness, so a hot lock cannot starve a waiter),
+		// unless the transaction already holds the lock.
+		barge := !holder && !waited && ls.waiting > 0
+		if !barge && lm.grantable(ls, txnID, mode) {
+			if mode == Exclusive {
+				ls.writer = txnID
+				ls.wcount++
+				delete(ls.readers, txnID) // upgrade consumes the shared hold
+			} else {
+				ls.readers[txnID]++
+			}
+			if waited {
+				ls.waiting--
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if waited {
+				ls.waiting--
+			}
+			return fmt.Errorf("%w: txn %d key %q", ErrLockTimeout, txnID, key)
+		}
+		if !waited {
+			atomic.AddInt64(&lm.waits, 1)
+			ls.waiting++
+			waited = true
+		}
+		// Wake ourselves up at the deadline so the timeout is honoured even
+		// if nobody releases the lock.
+		timer := time.AfterFunc(time.Until(deadline), ls.cond.Broadcast)
+		ls.cond.Wait()
+		timer.Stop()
+	}
+}
+
+// grantable reports whether txnID may take key in mode.  Caller holds lm.mu.
+func (lm *LockManager) grantable(ls *lockState, txnID uint64, mode LockMode) bool {
+	if mode == Shared {
+		return ls.writer == 0 || ls.writer == txnID
+	}
+	// Exclusive: no other writer and no other readers.
+	if ls.writer != 0 && ls.writer != txnID {
+		return false
+	}
+	for r := range ls.readers {
+		if r != txnID {
+			return false
+		}
+	}
+	return true
+}
+
+// ReleaseAll releases every lock held by txnID.
+func (lm *LockManager) ReleaseAll(txnID uint64, keys []string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, key := range keys {
+		ls, ok := lm.locks[key]
+		if !ok {
+			continue
+		}
+		// ReleaseAll is only called at commit/abort (strict two-phase
+		// locking), so every hold the transaction has on the key is dropped
+		// at once, however many times it re-acquired the lock.
+		if ls.writer == txnID {
+			ls.writer = 0
+			ls.wcount = 0
+		}
+		delete(ls.readers, txnID)
+		ls.cond.Broadcast()
+	}
+}
+
+// State tracks a transaction's lifecycle.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+// Manager creates transactions, hands out ids and coordinates the WAL.
+type Manager struct {
+	nextID  atomic.Uint64
+	lm      *LockManager
+	log     *wal.Log
+	clock   *sim.Clock
+	started atomic.Int64
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// NewManager creates a transaction manager.  log may be nil (no logging) and
+// clock may be nil (no global time publication).
+func NewManager(lm *LockManager, log *wal.Log, clock *sim.Clock) *Manager {
+	if lm == nil {
+		lm = NewLockManager(0)
+	}
+	return &Manager{lm: lm, log: log, clock: clock}
+}
+
+// LockManager returns the shared lock manager.
+func (m *Manager) LockManager() *LockManager { return m.lm }
+
+// Started, Committed and Aborted return lifetime counters.
+func (m *Manager) Started() int64   { return m.started.Load() }
+func (m *Manager) Committed() int64 { return m.commits.Load() }
+func (m *Manager) Aborted() int64   { return m.aborts.Load() }
+
+// Txn is one transaction.  It is owned by a single goroutine (a TPC-C
+// terminal); it is not safe for concurrent use.
+type Txn struct {
+	id      uint64
+	mgr     *Manager
+	cursor  *sim.Cursor
+	state   State
+	locks   []string
+	lockSet map[string]bool
+	start   sim.Time
+}
+
+// Begin starts a transaction whose virtual clock begins at now.
+func (m *Manager) Begin(now sim.Time) *Txn {
+	id := m.nextID.Add(1)
+	m.started.Add(1)
+	cur := sim.NewCursor(m.clock)
+	cur.SetTo(now)
+	t := &Txn{id: id, mgr: m, cursor: cur, state: Active, lockSet: make(map[string]bool), start: now}
+	if m.log != nil {
+		_, _ = m.log.Append(wal.RecBegin, id, 0, nil)
+	}
+	return t
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Now returns the transaction's current virtual time.
+func (t *Txn) Now() sim.Time { return t.cursor.Now() }
+
+// AdvanceTo moves the transaction's virtual clock forward (after an I/O
+// completed at that time).
+func (t *Txn) AdvanceTo(when sim.Time) { t.cursor.AdvanceTo(when) }
+
+// Charge adds CPU time to the transaction's virtual clock.
+func (t *Txn) Charge(d time.Duration) { t.cursor.Advance(d) }
+
+// ResponseTime returns the virtual time elapsed since Begin.
+func (t *Txn) ResponseTime() time.Duration { return t.cursor.Now().Sub(t.start) }
+
+// State returns the transaction state.
+func (t *Txn) State() State { return t.state }
+
+// Lock acquires key in the given mode and remembers it for release at
+// commit/abort.
+func (t *Txn) Lock(key string, mode LockMode) error {
+	if t.state != Active {
+		return ErrTxnDone
+	}
+	if err := t.mgr.lm.Lock(t.id, key, mode); err != nil {
+		return err
+	}
+	if !t.lockSet[key] {
+		t.lockSet[key] = true
+		t.locks = append(t.locks, key)
+	}
+	return nil
+}
+
+// Log appends a record to the WAL on behalf of the transaction.
+func (t *Txn) Log(typ wal.RecordType, objectID uint32, payload []byte) {
+	if t.mgr.log == nil || t.state != Active {
+		return
+	}
+	_, _ = t.mgr.log.Append(typ, t.id, objectID, payload)
+}
+
+// Commit writes the commit record, forces the log and releases all locks.
+// It returns the transaction's final virtual time.
+func (t *Txn) Commit() (sim.Time, error) {
+	if t.state != Active {
+		return t.cursor.Now(), ErrTxnDone
+	}
+	if t.mgr.log != nil {
+		if _, err := t.mgr.log.Append(wal.RecCommit, t.id, 0, nil); err != nil {
+			return t.cursor.Now(), err
+		}
+		done, err := t.mgr.log.Flush(t.cursor.Now())
+		if err != nil {
+			return t.cursor.Now(), err
+		}
+		t.cursor.AdvanceTo(done)
+	}
+	t.state = Committed
+	t.mgr.commits.Add(1)
+	t.mgr.lm.ReleaseAll(t.id, t.locks)
+	return t.cursor.Now(), nil
+}
+
+// Abort writes an abort record and releases all locks.  The engine's
+// transactions are written to take locks before any modification, so abort
+// is only used for logical aborts that happen before updates (e.g. the 1 %
+// of TPC-C NewOrder transactions with an invalid item).
+func (t *Txn) Abort() sim.Time {
+	if t.state != Active {
+		return t.cursor.Now()
+	}
+	if t.mgr.log != nil {
+		_, _ = t.mgr.log.Append(wal.RecAbort, t.id, 0, nil)
+	}
+	t.state = Aborted
+	t.mgr.aborts.Add(1)
+	t.mgr.lm.ReleaseAll(t.id, t.locks)
+	return t.cursor.Now()
+}

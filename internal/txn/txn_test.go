@@ -1,0 +1,218 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"noftl/internal/core"
+	"noftl/internal/flash"
+	"noftl/internal/sim"
+	"noftl/internal/wal"
+)
+
+func testWAL(t *testing.T) *wal.Log {
+	t.Helper()
+	cfg := flash.DefaultConfig()
+	cfg.Geometry = flash.Geometry{
+		Channels: 1, DiesPerChannel: 2, PlanesPerDie: 1,
+		BlocksPerDie: 64, PagesPerBlock: 16, PageSize: 512,
+	}
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewManager(dev, core.DefaultOptions())
+	return wal.New(mgr, core.Hint{ObjectID: 1}, 512)
+}
+
+func TestLockManagerSharedAndExclusive(t *testing.T) {
+	lm := NewLockManager(time.Second)
+	// Two readers coexist.
+	if err := lm.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Lock(2, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	// A writer must wait; with a short timeout it gives up.
+	short := NewLockManager(50 * time.Millisecond)
+	if err := short.Lock(1, "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := short.Lock(2, "x", Exclusive)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("want ErrLockTimeout, got %v", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("timeout returned too early")
+	}
+	if short.Waits() == 0 {
+		t.Fatal("wait not counted")
+	}
+	// Releasing lets the writer in.
+	short.ReleaseAll(1, []string{"x"})
+	if err := short.Lock(2, "x", Exclusive); err != nil {
+		t.Fatalf("lock after release: %v", err)
+	}
+	// Re-acquiring an already-held lock succeeds, as does upgrading when the
+	// transaction is the only reader.
+	if err := lm.Lock(1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	lm.ReleaseAll(2, []string{"k"})
+	if err := lm.Lock(1, "k", Exclusive); err != nil {
+		t.Fatalf("upgrade failed: %v", err)
+	}
+	if err := lm.Lock(1, "k", Exclusive); err != nil {
+		t.Fatalf("re-acquire failed: %v", err)
+	}
+}
+
+func TestLockManagerBlocksThenGrants(t *testing.T) {
+	lm := NewLockManager(2 * time.Second)
+	if err := lm.Lock(1, "row", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		acquired <- lm.Lock(2, "row", Exclusive)
+	}()
+	select {
+	case err := <-acquired:
+		t.Fatalf("lock granted while held: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1, []string{"row"})
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("lock not granted after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke up")
+	}
+}
+
+func TestLockManagerConcurrentCounter(t *testing.T) {
+	lm := NewLockManager(5 * time.Second)
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := lm.Lock(id, "counter", Exclusive); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				lm.ReleaseAll(id, []string{"counter"})
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if counter != 1600 {
+		t.Fatalf("counter = %d, want 1600 (lost updates)", counter)
+	}
+}
+
+func TestTxnLifecycle(t *testing.T) {
+	log := testWAL(t)
+	m := NewManager(NewLockManager(time.Second), log, sim.NewClock())
+	tx := m.Begin(0)
+	if tx.ID() == 0 || tx.State() != Active {
+		t.Fatal("begin state wrong")
+	}
+	if err := tx.Lock("W:1", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Lock("W:1", Exclusive); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	tx.Log(wal.RecUpdate, 5, []byte("update W 1"))
+	tx.Charge(100 * time.Microsecond)
+	tx.AdvanceTo(tx.Now().Add(50 * time.Microsecond))
+	done, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 || tx.State() != Committed {
+		t.Fatalf("commit: %v state=%v", done, tx.State())
+	}
+	if tx.ResponseTime() <= 0 {
+		t.Fatal("response time not accounted")
+	}
+	// Commit forces the log.
+	if log.FlushedLSN() == 0 {
+		t.Fatal("commit did not flush the WAL")
+	}
+	// Double commit / post-commit operations fail gracefully.
+	if _, err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := tx.Lock("x", Shared); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("lock after commit: %v", err)
+	}
+	// Another transaction can take the released lock immediately.
+	tx2 := m.Begin(done)
+	if err := tx2.Lock("W:1", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx2.Abort()
+	if tx2.State() != Aborted {
+		t.Fatal("abort state wrong")
+	}
+	_ = tx2.Abort() // idempotent
+	if m.Started() != 2 || m.Committed() != 1 || m.Aborted() != 1 {
+		t.Fatalf("counters: started=%d committed=%d aborted=%d", m.Started(), m.Committed(), m.Aborted())
+	}
+	if m.LockManager() == nil {
+		t.Fatal("lock manager accessor nil")
+	}
+}
+
+func TestTxnWithoutWAL(t *testing.T) {
+	m := NewManager(nil, nil, nil)
+	tx := m.Begin(100)
+	tx.Log(wal.RecUpdate, 1, nil) // no-op without a log
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTransactionsSerializeOnLock(t *testing.T) {
+	log := testWAL(t)
+	m := NewManager(NewLockManager(5*time.Second), log, sim.NewClock())
+	balance := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tx := m.Begin(0)
+				if err := tx.Lock("account:1", Exclusive); err != nil {
+					t.Error(err)
+					return
+				}
+				balance++
+				tx.Log(wal.RecUpdate, 1, []byte{1})
+				if _, err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if balance != 400 {
+		t.Fatalf("balance = %d, want 400", balance)
+	}
+	if m.Committed() != 400 {
+		t.Fatalf("commits = %d", m.Committed())
+	}
+}

@@ -1,0 +1,329 @@
+// Package wal implements the write-ahead log of the reproduction's storage
+// engine.  Log records are buffered in memory, packed into 4 KiB log pages
+// and forced to the flash device on commit (group commit of everything
+// buffered so far).  The log is an append-mostly object; under the paper's
+// placement model it belongs in the metadata/append region, which is exactly
+// where the Region Advisor puts it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"noftl/internal/core"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+)
+
+// RecordType tags a log record.
+type RecordType uint8
+
+// Log record types.
+const (
+	RecBegin RecordType = iota + 1
+	RecCommit
+	RecAbort
+	RecInsert
+	RecUpdate
+	RecDelete
+	RecCheckpoint
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInsert:
+		return "INSERT"
+	case RecUpdate:
+		return "UPDATE"
+	case RecDelete:
+		return "DELETE"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Record is one write-ahead-log record.
+type Record struct {
+	LSN      uint64
+	Type     RecordType
+	TxnID    uint64
+	ObjectID uint32
+	Payload  []byte
+}
+
+// Errors returned by the log.
+var (
+	// ErrCorrupt reports a log record whose checksum does not match.
+	ErrCorrupt = errors.New("wal: corrupt log record")
+	// ErrTooLarge reports a record that does not fit into a log page.
+	ErrTooLarge = errors.New("wal: record larger than a log page")
+)
+
+const recHeaderSize = 8 + 1 + 8 + 4 + 4 + 4 // lsn, type, txn, obj, payloadLen, crc
+
+func encodeRecord(r Record) []byte {
+	out := make([]byte, recHeaderSize+len(r.Payload))
+	binary.LittleEndian.PutUint64(out[0:], r.LSN)
+	out[8] = byte(r.Type)
+	binary.LittleEndian.PutUint64(out[9:], r.TxnID)
+	binary.LittleEndian.PutUint32(out[17:], r.ObjectID)
+	binary.LittleEndian.PutUint32(out[21:], uint32(len(r.Payload)))
+	copy(out[29:], r.Payload)
+	crc := crc32.ChecksumIEEE(out[:25])
+	crc = crc32.Update(crc, crc32.IEEETable, r.Payload)
+	binary.LittleEndian.PutUint32(out[25:], crc)
+	return out
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	if len(b) < recHeaderSize {
+		return Record{}, fmt.Errorf("%w: short record", ErrCorrupt)
+	}
+	r := Record{
+		LSN:      binary.LittleEndian.Uint64(b[0:]),
+		Type:     RecordType(b[8]),
+		TxnID:    binary.LittleEndian.Uint64(b[9:]),
+		ObjectID: binary.LittleEndian.Uint32(b[17:]),
+	}
+	plen := binary.LittleEndian.Uint32(b[21:])
+	if int(plen) != len(b)-recHeaderSize {
+		return Record{}, fmt.Errorf("%w: payload length mismatch", ErrCorrupt)
+	}
+	r.Payload = append([]byte(nil), b[29:]...)
+	want := binary.LittleEndian.Uint32(b[25:])
+	crc := crc32.ChecksumIEEE(b[:25])
+	crc = crc32.Update(crc, crc32.IEEETable, r.Payload)
+	if crc != want {
+		return Record{}, fmt.Errorf("%w: checksum mismatch for lsn %d", ErrCorrupt, r.LSN)
+	}
+	return r, nil
+}
+
+// Log is the write-ahead log manager.
+type Log struct {
+	mu       sync.Mutex
+	mgr      *core.Manager
+	hint     core.Hint
+	pageSize int
+
+	nextLSN    uint64
+	flushedLSN uint64
+
+	cur        []byte   // current (partial) log page image
+	curLPN     core.LPN // logical page the current page will be written to
+	sealedWr   []sealedPage
+	pages      []core.LPN          // every log page ever allocated, in order
+	pageMaxLSN map[core.LPN]uint64 // highest LSN stored in each sealed page
+
+	appended int64
+	flushes  int64
+	bytes    int64
+}
+
+type sealedPage struct {
+	lpn  core.LPN
+	data []byte
+}
+
+// New creates a log writing pages through mgr with the given placement hint
+// (normally the hint of the log object's tablespace).
+func New(mgr *core.Manager, hint core.Hint, pageSize int) *Log {
+	l := &Log{
+		mgr:        mgr,
+		hint:       hint,
+		pageSize:   pageSize,
+		nextLSN:    1,
+		pageMaxLSN: make(map[core.LPN]uint64),
+	}
+	l.hint.Flags |= flashFlagLog
+	l.openPage()
+	return l
+}
+
+// flashFlagLog mirrors flash.FlagLog without importing the flash package
+// here (the hint flag bits are defined by the flash OOB metadata).
+const flashFlagLog uint16 = 1
+
+func (l *Log) openPage() {
+	l.curLPN = l.mgr.AllocateLPNs(1)
+	l.cur = make([]byte, l.pageSize)
+	storage.InitPage(l.cur, storage.PageTypeLog, l.hint.ObjectID, uint64(l.curLPN))
+	l.pages = append(l.pages, l.curLPN)
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// FlushedLSN returns the highest LSN known to be durable.
+func (l *Log) FlushedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushedLSN
+}
+
+// Appended returns the number of records appended so far.
+func (l *Log) Appended() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Flushes returns the number of Flush calls that wrote pages.
+func (l *Log) Flushes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushes
+}
+
+// PageCount returns the number of log pages allocated.
+func (l *Log) PageCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pages)
+}
+
+// Append adds a record to the log buffer and returns its LSN.  The record is
+// not durable until Flush returns.
+func (l *Log) Append(typ RecordType, txnID uint64, objectID uint32, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := Record{LSN: l.nextLSN, Type: typ, TxnID: txnID, ObjectID: objectID, Payload: payload}
+	enc := encodeRecord(rec)
+	if len(enc) > l.pageSize-storage.PageHeaderSize-8 {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(enc))
+	}
+	if _, err := storage.InsertRecord(l.cur, enc); err != nil {
+		// Current page is full: seal it and start a new one.
+		l.sealedWr = append(l.sealedWr, sealedPage{lpn: l.curLPN, data: l.cur})
+		l.pageMaxLSN[l.curLPN] = l.nextLSN - 1
+		l.openPage()
+		if _, err := storage.InsertRecord(l.cur, enc); err != nil {
+			return 0, err
+		}
+	}
+	l.nextLSN++
+	l.appended++
+	l.bytes += int64(len(enc))
+	return rec.LSN, nil
+}
+
+// Flush forces every appended record to the device (sealed full pages plus
+// the current partial page) and returns the caller's advanced virtual time.
+func (l *Log) Flush(now sim.Time) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.flushedLSN == l.nextLSN-1 {
+		return now, nil // nothing new
+	}
+	for _, sp := range l.sealedWr {
+		done, err := l.mgr.WritePage(now, sp.lpn, sp.data, l.hint)
+		if err != nil {
+			return now, fmt.Errorf("wal: flush sealed page: %w", err)
+		}
+		now = done
+	}
+	l.sealedWr = nil
+	// Write the partial page as well; re-writing it later simply supersedes
+	// this version out of place.
+	done, err := l.mgr.WritePage(now, l.curLPN, l.cur, l.hint)
+	if err != nil {
+		return now, fmt.Errorf("wal: flush current page: %w", err)
+	}
+	now = done
+	l.flushedLSN = l.nextLSN - 1
+	l.flushes++
+	return now, nil
+}
+
+// ReadAll reads every durable log record back from the device in LSN order
+// (records appended but never flushed are not returned).  It is the recovery
+// scan.
+func (l *Log) ReadAll(now sim.Time) ([]Record, sim.Time, error) {
+	l.mu.Lock()
+	pages := append([]core.LPN(nil), l.pages...)
+	l.mu.Unlock()
+
+	var out []Record
+	buf := make([]byte, l.pageSize)
+	for _, lpn := range pages {
+		data, done, err := l.mgr.ReadPage(now, lpn, buf)
+		if err != nil {
+			if errors.Is(err, core.ErrUnmappedPage) {
+				continue // never flushed
+			}
+			return nil, now, err
+		}
+		now = done
+		var decodeErr error
+		_ = storage.IterateRecords(data, func(slot uint16, rec []byte) bool {
+			r, err := decodeRecord(rec)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			out = append(out, r)
+			return true
+		})
+		if decodeErr != nil {
+			return nil, now, decodeErr
+		}
+	}
+	return out, now, nil
+}
+
+// CommittedTxns scans the durable log and returns the set of transaction ids
+// that have a COMMIT record — the first phase of a redo recovery.
+func (l *Log) CommittedTxns(now sim.Time) (map[uint64]bool, sim.Time, error) {
+	recs, now, err := l.ReadAll(now)
+	if err != nil {
+		return nil, now, err
+	}
+	committed := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.Type == RecCommit {
+			committed[r.TxnID] = true
+		}
+	}
+	return committed, now, nil
+}
+
+// Truncate drops every sealed log page whose records all lie strictly below
+// upToLSN, trimming them on the device (checkpointing).  The current page and
+// pages that were never flushed are never dropped.  It returns the number of
+// pages removed.
+func (l *Log) Truncate(upToLSN uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dropped := 0
+	kept := l.pages[:0]
+	for _, lpn := range l.pages {
+		maxLSN, sealed := l.pageMaxLSN[lpn]
+		if lpn == l.curLPN || !sealed || maxLSN >= upToLSN {
+			kept = append(kept, lpn)
+			continue
+		}
+		if err := l.mgr.TrimPage(lpn); err != nil {
+			kept = append(kept, lpn)
+			continue
+		}
+		delete(l.pageMaxLSN, lpn)
+		dropped++
+	}
+	l.pages = kept
+	return dropped
+}

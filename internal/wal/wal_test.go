@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"noftl/internal/core"
+	"noftl/internal/flash"
+)
+
+func testLog(t *testing.T) (*Log, *core.Manager) {
+	t.Helper()
+	cfg := flash.DefaultConfig()
+	cfg.Geometry = flash.Geometry{
+		Channels: 2, DiesPerChannel: 1, PlanesPerDie: 1,
+		BlocksPerDie: 64, PagesPerBlock: 16, PageSize: 512,
+	}
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewManager(dev, core.DefaultOptions())
+	return New(mgr, core.Hint{ObjectID: 99}, 512), mgr
+}
+
+func TestRecordEncodeDecodeProperty(t *testing.T) {
+	f := func(lsn, txn uint64, obj uint32, typ uint8, payload []byte) bool {
+		r := Record{LSN: lsn, Type: RecordType(typ%7 + 1), TxnID: txn, ObjectID: obj, Payload: payload}
+		dec, err := decodeRecord(encodeRecord(r))
+		if err != nil {
+			return false
+		}
+		return dec.LSN == r.LSN && dec.Type == r.Type && dec.TxnID == r.TxnID &&
+			dec.ObjectID == r.ObjectID && bytes.Equal(dec.Payload, r.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordCorruptionDetected(t *testing.T) {
+	enc := encodeRecord(Record{LSN: 1, Type: RecCommit, TxnID: 2, Payload: []byte("abc")})
+	enc[len(enc)-1] ^= 0xFF
+	if _, err := decodeRecord(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if _, err := decodeRecord(enc[:5]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short record: %v", err)
+	}
+	// Length mismatch.
+	enc2 := encodeRecord(Record{LSN: 1, Type: RecCommit, Payload: []byte("abc")})
+	if _, err := decodeRecord(enc2[:len(enc2)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated record: %v", err)
+	}
+}
+
+func TestAppendFlushReadAll(t *testing.T) {
+	l, mgr := testLog(t)
+	if l.NextLSN() != 1 || l.FlushedLSN() != 0 {
+		t.Fatalf("fresh log LSNs wrong: %d %d", l.NextLSN(), l.FlushedLSN())
+	}
+	var lsns []uint64
+	for i := 0; i < 100; i++ {
+		lsn, err := l.Append(RecUpdate, uint64(i%7), uint32(i%3), []byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if l.Appended() != 100 {
+		t.Fatalf("appended = %d", l.Appended())
+	}
+	for i := 1; i < len(lsns); i++ {
+		if lsns[i] != lsns[i-1]+1 {
+			t.Fatal("LSNs not consecutive")
+		}
+	}
+	// Nothing durable yet.
+	recs, _, err := l.ReadAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("unflushed records visible: %d", len(recs))
+	}
+	done, err := l.Flush(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("flush consumed no virtual time")
+	}
+	if l.FlushedLSN() != 100 {
+		t.Fatalf("flushedLSN = %d", l.FlushedLSN())
+	}
+	if mgr.Stats().HostWrites == 0 {
+		t.Fatal("flush wrote nothing to flash")
+	}
+	// Idempotent flush.
+	if _, err := l.Flush(done); err != nil {
+		t.Fatal(err)
+	}
+	if l.Flushes() != 1 {
+		t.Fatalf("flushes = %d", l.Flushes())
+	}
+	recs, _, err = l.ReadAll(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d", i, r.LSN)
+		}
+		if string(r.Payload) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("record %d payload %q", i, r.Payload)
+		}
+	}
+	if l.PageCount() < 2 {
+		t.Fatalf("expected multiple log pages, got %d", l.PageCount())
+	}
+}
+
+func TestCommittedTxns(t *testing.T) {
+	l, _ := testLog(t)
+	mustAppend := func(typ RecordType, txn uint64) {
+		if _, err := l.Append(typ, txn, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(RecBegin, 1)
+	mustAppend(RecUpdate, 1)
+	mustAppend(RecCommit, 1)
+	mustAppend(RecBegin, 2)
+	mustAppend(RecUpdate, 2)
+	mustAppend(RecBegin, 3)
+	mustAppend(RecAbort, 3)
+	if _, err := l.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	committed, _, err := l.CommittedTxns(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed[1] || committed[2] || committed[3] {
+		t.Fatalf("committed set wrong: %v", committed)
+	}
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	l, _ := testLog(t)
+	if _, err := l.Append(RecUpdate, 1, 0, make([]byte, 600)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, typ := range []RecordType{RecBegin, RecCommit, RecAbort, RecInsert, RecUpdate, RecDelete, RecCheckpoint, RecordType(99)} {
+		if typ.String() == "" {
+			t.Fatal("empty type string")
+		}
+	}
+}
+
+func TestTruncateDropsOldPages(t *testing.T) {
+	l, mgr := testLog(t)
+	for i := 0; i < 300; i++ {
+		if _, err := l.Append(RecUpdate, 1, 0, []byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now, err := l.Flush(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagesBefore := l.PageCount()
+	if pagesBefore < 3 {
+		t.Fatalf("not enough log pages for the test: %d", pagesBefore)
+	}
+	validBefore := mgr.Stats().ValidPages
+	dropped := l.Truncate(250)
+	if dropped == 0 {
+		t.Fatal("truncate dropped nothing")
+	}
+	if l.PageCount() != pagesBefore-dropped {
+		t.Fatalf("page count %d after dropping %d of %d", l.PageCount(), dropped, pagesBefore)
+	}
+	if mgr.Stats().ValidPages >= validBefore {
+		t.Fatal("truncate did not trim pages on the device")
+	}
+	// The surviving records still decode and include the newest LSNs.
+	recs, _, err := l.ReadAll(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].LSN != 300 {
+		t.Fatalf("latest records lost after truncate: %d records", len(recs))
+	}
+}

@@ -1,0 +1,79 @@
+package noftl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"noftl/internal/buffer"
+	"noftl/internal/flash"
+	"noftl/internal/metrics"
+)
+
+// Stats is a snapshot of the whole stack: transactions, buffer pool, NoFTL
+// space manager and flash device.  All counters are cumulative since the
+// last ResetStatistics call.
+type Stats struct {
+	// Simulated is the simulated wall-clock time covered by the counters.
+	Simulated time.Duration
+	// Transactions
+	TxnStarted   int64
+	TxnCommitted int64
+	TxnAborted   int64
+	// Buffer pool
+	Buffer buffer.Stats
+	// NoFTL space manager (per region + totals)
+	Space SpaceStats
+	// Flash device
+	Device flash.Stats
+	// Host I/O latencies aggregated over all regions
+	ReadLatency  metrics.Snapshot
+	WriteLatency metrics.Snapshot
+}
+
+// TPS returns committed transactions per simulated second.
+func (s Stats) TPS() float64 {
+	secs := s.Simulated.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(s.TxnCommitted) / secs
+}
+
+// WriteAmplification returns the device write-amplification factor.
+func (s Stats) WriteAmplification() float64 { return s.Space.WriteAmplification() }
+
+// String renders a compact multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulated time: %v\n", s.Simulated)
+	fmt.Fprintf(&b, "transactions:   started=%d committed=%d aborted=%d (%.2f TPS)\n",
+		s.TxnStarted, s.TxnCommitted, s.TxnAborted, s.TPS())
+	fmt.Fprintf(&b, "buffer pool:    hit ratio=%.3f misses=%d writebacks=%d\n",
+		s.Buffer.HitRatio(), s.Buffer.Misses, s.Buffer.Writebacks)
+	fmt.Fprintf(&b, "host I/O:       reads=%d (mean %v) writes=%d (mean %v)\n",
+		s.ReadLatency.Count, s.ReadLatency.Mean, s.WriteLatency.Count, s.WriteLatency.Mean)
+	fmt.Fprintf(&b, "flash GC:       copybacks=%d erases=%d WA=%.2f\n",
+		s.Space.GCCopybacks, s.Space.GCErases, s.WriteAmplification())
+	for _, r := range s.Space.Regions {
+		fmt.Fprintf(&b, "  %s\n", r.String())
+	}
+	return b.String()
+}
+
+// Stats returns a snapshot of every layer's counters.
+func (db *DB) Stats() Stats {
+	space := db.space.Stats()
+	read, write := space.LatencySnapshot()
+	return Stats{
+		Simulated:    time.Duration(db.clock.Now()),
+		TxnStarted:   db.txns.Started(),
+		TxnCommitted: db.txns.Committed(),
+		TxnAborted:   db.txns.Aborted(),
+		Buffer:       db.pool.Stats(),
+		Space:        space,
+		Device:       db.dev.Stats(),
+		ReadLatency:  read,
+		WriteLatency: write,
+	}
+}

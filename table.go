@@ -1,0 +1,263 @@
+package noftl
+
+import (
+	"noftl/internal/btree"
+	"noftl/internal/buffer"
+	"noftl/internal/catalog"
+	"noftl/internal/core"
+	"noftl/internal/sim"
+	"noftl/internal/storage"
+	"noftl/internal/txn"
+	"noftl/internal/wal"
+)
+
+// RID re-exports the storage record identifier.
+type RID = storage.RID
+
+// LockMode re-exports the lock modes for Tx.Lock.
+type LockMode = txn.LockMode
+
+// Lock modes.
+const (
+	Shared    = txn.Shared
+	Exclusive = txn.Exclusive
+)
+
+// btreeNew is an indirection so db.go does not import btree directly at the
+// call site (keeps the facade's dependency wiring in one place).
+func btreeNew(now sim.Time, name string, objectID uint32, ts *storage.Tablespace, pool *buffer.Pool) (*btree.Tree, sim.Time, error) {
+	return btree.New(now, name, objectID, ts, pool)
+}
+
+// Tx is a transaction handle.  It is owned by a single goroutine.
+type Tx struct {
+	db    *DB
+	inner *txn.Txn
+}
+
+// ID returns the transaction id.
+func (tx *Tx) ID() uint64 { return tx.inner.ID() }
+
+// Now returns the transaction's current virtual time.
+func (tx *Tx) Now() sim.Time { return tx.inner.Now() }
+
+// ResponseTime returns the virtual time elapsed since Begin.
+func (tx *Tx) ResponseTime() sim.Duration { return tx.inner.ResponseTime() }
+
+// Lock acquires a logical lock (e.g. "DISTRICT:1:3") in the given mode.
+func (tx *Tx) Lock(key string, mode LockMode) error { return tx.inner.Lock(key, mode) }
+
+// Charge adds CPU time to the transaction.
+func (tx *Tx) Charge(d sim.Duration) { tx.inner.Charge(d) }
+
+// Commit commits the transaction, forcing the WAL, and returns its final
+// virtual time.
+func (tx *Tx) Commit() (sim.Time, error) { return tx.inner.Commit() }
+
+// Abort aborts the transaction.
+func (tx *Tx) Abort() sim.Time { return tx.inner.Abort() }
+
+func (tx *Tx) chargeOp() { tx.inner.Charge(tx.db.cfg.CPUPerOp) }
+
+// Table is a handle to a heap table.
+type Table struct {
+	db       *DB
+	heap     *storage.HeapFile
+	name     string
+	objectID uint32
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// ObjectID returns the table's catalog object id.
+func (t *Table) ObjectID() uint32 { return t.objectID }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int64 { return t.heap.RecordCount() }
+
+// PageCount returns the number of heap pages.
+func (t *Table) PageCount() int64 { return t.heap.PageCount() }
+
+// Insert adds a row and returns its RID.
+func (t *Table) Insert(tx *Tx, row []byte) (RID, error) {
+	tx.chargeOp()
+	rid, done, err := t.heap.Insert(tx.Now(), row)
+	if err != nil {
+		return RID{}, err
+	}
+	tx.inner.AdvanceTo(done)
+	tx.inner.Log(wal.RecInsert, t.objectID, rid.Encode())
+	t.db.objStats.RecordAppend(t.name, 1)
+	return rid, nil
+}
+
+// Get returns the row stored under rid.
+func (t *Table) Get(tx *Tx, rid RID) ([]byte, error) {
+	tx.chargeOp()
+	row, done, err := t.heap.Get(tx.Now(), rid)
+	if err != nil {
+		return nil, err
+	}
+	tx.inner.AdvanceTo(done)
+	return row, nil
+}
+
+// Update replaces the row stored under rid.
+func (t *Table) Update(tx *Tx, rid RID, row []byte) error {
+	tx.chargeOp()
+	done, err := t.heap.Update(tx.Now(), rid, row)
+	if err != nil {
+		return err
+	}
+	tx.inner.AdvanceTo(done)
+	tx.inner.Log(wal.RecUpdate, t.objectID, rid.Encode())
+	return nil
+}
+
+// Delete removes the row stored under rid.
+func (t *Table) Delete(tx *Tx, rid RID) error {
+	tx.chargeOp()
+	done, err := t.heap.Delete(tx.Now(), rid)
+	if err != nil {
+		return err
+	}
+	tx.inner.AdvanceTo(done)
+	tx.inner.Log(wal.RecDelete, t.objectID, rid.Encode())
+	return nil
+}
+
+// Scan iterates over all rows; fn returning false stops the scan.
+func (t *Table) Scan(tx *Tx, fn func(rid RID, row []byte) bool) error {
+	tx.chargeOp()
+	done, err := t.heap.Scan(tx.Now(), fn)
+	if err != nil {
+		return err
+	}
+	tx.inner.AdvanceTo(done)
+	return nil
+}
+
+// Index is a handle to a B+-tree index.
+type Index struct {
+	db   *DB
+	tree *btree.Tree
+	meta catalog.Index
+}
+
+// Name returns the index name.
+func (i *Index) Name() string { return i.meta.Name }
+
+// Table returns the indexed table's name.
+func (i *Index) Table() string { return i.meta.Table }
+
+// Unique reports whether the index was declared unique.
+func (i *Index) Unique() bool { return i.meta.Unique }
+
+// Entries returns the number of index entries.
+func (i *Index) Entries() int64 { return i.tree.Entries() }
+
+// Insert adds (or replaces) the entry key -> rid.
+func (i *Index) Insert(tx *Tx, key []byte, rid RID) error {
+	tx.chargeOp()
+	done, err := i.tree.Insert(tx.Now(), key, rid.Encode())
+	if err != nil {
+		return err
+	}
+	tx.inner.AdvanceTo(done)
+	return nil
+}
+
+// Lookup returns the RID stored under key.
+func (i *Index) Lookup(tx *Tx, key []byte) (RID, bool, error) {
+	tx.chargeOp()
+	val, done, found, err := i.tree.Get(tx.Now(), key)
+	if err != nil {
+		return RID{}, false, err
+	}
+	tx.inner.AdvanceTo(done)
+	if !found {
+		return RID{}, false, nil
+	}
+	rid, err := storage.DecodeRID(val)
+	if err != nil {
+		return RID{}, false, err
+	}
+	return rid, true, nil
+}
+
+// Delete removes the entry stored under key.
+func (i *Index) Delete(tx *Tx, key []byte) error {
+	tx.chargeOp()
+	done, err := i.tree.Delete(tx.Now(), key)
+	if err != nil {
+		return err
+	}
+	tx.inner.AdvanceTo(done)
+	return nil
+}
+
+// Scan iterates over entries with startKey <= key < endKey (nil endKey means
+// to the end); fn returning false stops the scan.
+func (i *Index) Scan(tx *Tx, startKey, endKey []byte, fn func(key []byte, rid RID) bool) error {
+	tx.chargeOp()
+	done, err := i.tree.Scan(tx.Now(), startKey, endKey, func(k, v []byte) bool {
+		rid, err := storage.DecodeRID(v)
+		if err != nil {
+			return false
+		}
+		return fn(k, rid)
+	})
+	if err != nil {
+		return err
+	}
+	tx.inner.AdvanceTo(done)
+	return nil
+}
+
+// ScanPrefix iterates over every entry whose key begins with prefix.
+func (i *Index) ScanPrefix(tx *Tx, prefix []byte, fn func(key []byte, rid RID) bool) error {
+	tx.chargeOp()
+	done, err := i.tree.ScanPrefix(tx.Now(), prefix, func(k, v []byte) bool {
+		rid, err := storage.DecodeRID(v)
+		if err != nil {
+			return false
+		}
+		return fn(k, rid)
+	})
+	if err != nil {
+		return err
+	}
+	tx.inner.AdvanceTo(done)
+	return nil
+}
+
+// Key builds an order-preserving composite key of uint32 components (a
+// re-export of the btree helper for callers of the public API).
+func Key(parts ...uint32) []byte { return btree.Key(parts...) }
+
+// KeyBuilder re-exports the composite-key builder.
+type KeyBuilder = btree.KeyBuilder
+
+// NewKeyBuilder returns an empty composite-key builder.
+func NewKeyBuilder() *KeyBuilder { return btree.NewKeyBuilder() }
+
+// RegionSpec, AdvisorOptions, PlacementPlan and Hint re-export the core types
+// used through the public API.
+type (
+	// LPN is a logical page number in the NoFTL space manager's address
+	// space (exposed for callers that drive the space manager directly).
+	LPN = core.LPN
+	// Hint is the placement hint attached to a page write.
+	Hint = core.Hint
+	// RegionSpec describes a region to create programmatically.
+	RegionSpec = core.RegionSpec
+	// AdvisorOptions tunes the Region Advisor.
+	AdvisorOptions = core.AdvisorOptions
+	// PlacementPlan is the advisor's output.
+	PlacementPlan = core.PlacementPlan
+	// SpaceStats is the space manager statistics snapshot.
+	SpaceStats = core.Stats
+	// RegionStats is the per-region statistics snapshot.
+	RegionStats = core.RegionStats
+)
