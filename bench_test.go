@@ -109,6 +109,24 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBatchedIO backs the iosched subsystem: the same striped
+// page set read and overwritten through the scheduler in batches versus one
+// page at a time (experiment A5).  The speedups are in virtual (simulated)
+// time.
+func BenchmarkAblationBatchedIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationBatchedIO(2048, 8, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.String())
+		}
+		b.ReportMetric(res.ReadSpeedup, "read-speedup-x")
+		b.ReportMetric(res.WriteSpeedup, "write-speedup-x")
+	}
+}
+
 // BenchmarkAblationHotCold backs the hot/cold separation claim (A2).
 func BenchmarkAblationHotCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,14 +1,20 @@
 // Command noftl-bench regenerates the paper's evaluation artifacts: the
 // Figure 2 placement configuration, the Figure 3 performance comparison, the
-// abstract's headline metrics and the ablation experiments A1–A4.
+// abstract's headline metrics and the ablation experiments A1–A5.
 //
 // Usage:
 //
 //	noftl-bench -experiment figure3 -scale small
 //	noftl-bench -experiment all -scale paper     (the full 64-die run)
+//	noftl-bench -experiment all -json BENCH_small.json
+//
+// With -json the results are additionally written as a machine-readable
+// document ("-" writes JSON to stdout and suppresses the text tables), so
+// successive runs can be diffed and the performance trajectory tracked.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,10 +23,19 @@ import (
 	"noftl/internal/experiments"
 )
 
+// jsonDoc is the top-level layout of the -json output.
+type jsonDoc struct {
+	Scale       string                 `json:"scale"`
+	GeneratedAt time.Time              `json:"generated_at"`
+	Experiments map[string]interface{} `json:"experiments"`
+	WallClockS  map[string]float64     `json:"wall_clock_seconds"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep or all")
+		"experiment to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch or all")
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -36,78 +51,131 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(name string, fn func() error) {
-		fmt.Printf("=== %s (scale %s) ===\n", name, scale)
+	doc := jsonDoc{
+		Scale:       fmt.Sprint(scale),
+		GeneratedAt: time.Now().UTC(),
+		Experiments: make(map[string]interface{}),
+		WallClockS:  make(map[string]float64),
+	}
+	quiet := *jsonPath == "-"
+	say := func(format string, args ...interface{}) {
+		if !quiet {
+			fmt.Printf(format, args...)
+		}
+	}
+
+	run := func(key, name string, fn func() (interface{}, error)) {
+		say("=== %s (scale %s) ===\n", name, scale)
 		start := time.Now()
-		if err := fn(); err != nil {
+		result, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(wall-clock %.1fs)\n\n", time.Since(start).Seconds())
+		doc.Experiments[key] = result
+		doc.WallClockS[key] = time.Since(start).Seconds()
+		say("(wall-clock %.1fs)\n\n", doc.WallClockS[key])
 	}
 
+	known := map[string]bool{
+		"all": true, "figure2": true, "figure3": true, "headline": true,
+		"parallelism": true, "hotcold": true, "ftl": true, "sweep": true, "batch": true,
+	}
+	if !known[*experiment] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch or all)\n", *experiment)
+		os.Exit(2)
+	}
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
 
 	if want("figure2") {
-		run("Figure 2: Region Advisor placement configuration", func() error {
+		run("figure2", "Figure 2: Region Advisor placement configuration", func() (interface{}, error) {
 			f2, err := experiments.RunFigure2(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(f2.Table())
-			fmt.Println(experiments.PaperFigure2Table(f2.Plan.TotalDies))
-			return nil
+			say("%s\n", f2.Table())
+			say("%s\n", experiments.PaperFigure2Table(f2.Plan.TotalDies))
+			return f2, nil
 		})
 	}
 	if want("figure3") || want("headline") {
-		run("Figure 3: traditional vs multi-region placement under TPC-C", func() error {
+		run("figure3", "Figure 3: traditional vs multi-region placement under TPC-C", func() (interface{}, error) {
 			f3, err := experiments.RunFigure3(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(f3.Table())
-			fmt.Println(f3.Headline().String())
-			return nil
+			say("%s\n", f3.Table())
+			say("%s\n", f3.Headline().String())
+			doc.Experiments["headline"] = f3.Headline()
+			return f3, nil
 		})
 	}
 	if want("parallelism") {
-		run("A1: die striping vs single-die layout", func() error {
+		run("parallelism", "A1: die striping vs single-die layout", func() (interface{}, error) {
 			res, err := experiments.RunAblationParallelism(4096, 8, 8)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(res.String())
-			return nil
+			say("%s\n", res.String())
+			return res, nil
 		})
 	}
 	if want("hotcold") {
-		run("A2: hot/cold separation and write amplification", func() error {
+		run("hotcold", "A2: hot/cold separation and write amplification", func() (interface{}, error) {
 			res, err := experiments.RunAblationHotCold(4000, 512, 30)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(res.String())
-			return nil
+			say("%s\n", res.String())
+			return res, nil
 		})
 	}
 	if want("ftl") {
-		run("A3: black-box FTL vs NoFTL", func() error {
+		run("ftl", "A3: black-box FTL vs NoFTL", func() (interface{}, error) {
 			res, err := experiments.RunAblationFTLvsNoFTL(3000, 15000)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(res.String())
-			return nil
+			say("%s\n", res.String())
+			return res, nil
 		})
 	}
 	if want("sweep") {
-		run("A4: region count vs throughput and GC overhead", func() error {
+		run("sweep", "A4: region count vs throughput and GC overhead", func() (interface{}, error) {
 			points, err := experiments.RunAblationRegionSweep(scale)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(experiments.SweepTable(points))
-			return nil
+			say("%s\n", experiments.SweepTable(points))
+			return points, nil
 		})
+	}
+	if want("batch") {
+		run("batch", "A5: batched vs serial I/O through the scheduler", func() (interface{}, error) {
+			res, err := experiments.RunAblationBatchedIO(4096, 8, 64)
+			if err != nil {
+				return nil, err
+			}
+			say("%s\n", res.String())
+			return res, nil
+		})
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			say("results written to %s\n", *jsonPath)
+		}
 	}
 }

@@ -45,6 +45,16 @@ type Config struct {
 	// ExtentPages is the default tablespace extent size in pages when a DDL
 	// statement does not specify EXTENT SIZE.
 	ExtentPages int
+	// ReadAheadPages is the number of sequentially-next logical pages the
+	// buffer pool prefetches through the asynchronous I/O scheduler on a
+	// demand miss.  The prefetched pages ride in the same die-striped batch
+	// as the demanded page, so a sequential scan pays one page latency for
+	// several pages.  Zero disables read-ahead.
+	ReadAheadPages int
+	// DisableGroupWriteBack turns off batched write-back: FlushAll and the
+	// background flushers then write dirty pages one at a time (the
+	// pre-scheduler behaviour) instead of as one die-striped batch.
+	DisableGroupWriteBack bool
 }
 
 // DefaultConfig returns a small configuration suitable for tests, examples
@@ -59,6 +69,7 @@ func DefaultConfig() Config {
 		LockTimeout:     2 * time.Second,
 		CPUPerOp:        5 * time.Microsecond,
 		ExtentPages:     32,
+		ReadAheadPages:  0, // opt-in: scans enable it per workload
 	}
 }
 
@@ -84,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ExtentPages <= 0 {
 		c.ExtentPages = 32
+	}
+	if c.ReadAheadPages < 0 {
+		c.ReadAheadPages = 0
 	}
 	return c
 }

@@ -10,6 +10,7 @@ import (
 	"noftl/internal/core"
 	"noftl/internal/ddl"
 	"noftl/internal/flash"
+	"noftl/internal/iosched"
 	"noftl/internal/metrics"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
@@ -78,6 +79,10 @@ func openOn(cfg Config, dev *flash.Device) (*DB, error) {
 		objectNames: make(map[uint32]string),
 	}
 	db.pool = buffer.New(db.space, cfg.BufferPoolPages, dev.Geometry().PageSize, db)
+	db.pool.Configure(buffer.Options{
+		ReadAhead:      cfg.ReadAheadPages,
+		GroupWriteBack: !cfg.DisableGroupWriteBack,
+	})
 
 	// The default tablespace lives in the default region; the catalog and
 	// WAL are placed there unless the DBA says otherwise.
@@ -146,6 +151,14 @@ func (db *DB) Device() *flash.Device { return db.dev }
 
 // SpaceManager returns the NoFTL space manager.
 func (db *DB) SpaceManager() *core.Manager { return db.space }
+
+// Scheduler returns the asynchronous I/O scheduler between the space manager
+// and the flash device.
+func (db *DB) Scheduler() *iosched.Scheduler { return db.space.Scheduler() }
+
+// SchedulerMetrics returns the scheduler's metric set: queue depth, batch
+// sizes and per-priority request counts and latencies.
+func (db *DB) SchedulerMetrics() *metrics.Set { return db.space.Scheduler().Metrics() }
 
 // BufferPool returns the buffer pool.
 func (db *DB) BufferPool() *buffer.Pool { return db.pool }

@@ -1,0 +1,267 @@
+package buffer
+
+import (
+	"testing"
+
+	"noftl/internal/core"
+	"noftl/internal/sim"
+)
+
+// memBatchBackend extends memBackend with the batched interface: batched
+// pages all complete one latency after submission (perfect overlap), which
+// is what the real scheduler produces for a die-striped batch.
+type memBatchBackend struct {
+	*memBackend
+	batchReads  int // ReadPages dispatches
+	batchWrites int // WritePages dispatches
+}
+
+func newMemBatchBackend(pageSize int) *memBatchBackend {
+	return &memBatchBackend{memBackend: newMemBackend(pageSize)}
+}
+
+func (b *memBatchBackend) ReadPages(now sim.Time, lpns []core.LPN, bufs [][]byte) ([]core.PageRead, sim.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batchReads++
+	out := make([]core.PageRead, len(lpns))
+	end := now
+	for i, lpn := range lpns {
+		out[i].LPN = lpn
+		out[i].Done = now
+		data, ok := b.pages[lpn]
+		if !ok {
+			out[i].Err = core.ErrUnmappedPage
+			continue
+		}
+		b.reads++
+		var buf []byte
+		if bufs != nil && i < len(bufs) {
+			buf = bufs[i]
+		}
+		if buf == nil {
+			buf = make([]byte, b.pageSize)
+		}
+		copy(buf, data)
+		out[i].Data = buf
+		out[i].Done = now.Add(b.readLat)
+		if out[i].Done > end {
+			end = out[i].Done
+		}
+	}
+	return out, end
+}
+
+func (b *memBatchBackend) WritePages(now sim.Time, writes []core.PageWrite) (sim.Time, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batchWrites++
+	for _, w := range writes {
+		cp := make([]byte, len(w.Data))
+		copy(cp, w.Data)
+		b.pages[w.LPN] = cp
+		b.writes++
+	}
+	return now.Add(b.writeLat), nil
+}
+
+func (b *memBatchBackend) Mapped(lpn core.LPN) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.pages[lpn]
+	return ok
+}
+
+// seed stores n pages with LPNs 1..n directly in the backend.
+func (b *memBatchBackend) seed(n int) {
+	for i := 1; i <= n; i++ {
+		data := make([]byte, b.pageSize)
+		data[0] = byte(i)
+		b.pages[core.LPN(i)] = data
+	}
+}
+
+func TestPoolReadAheadStagesSequentialPages(t *testing.T) {
+	be := newMemBatchBackend(128)
+	be.seed(10)
+	p := New(be, 16, 128, nil)
+	p.Configure(Options{ReadAhead: 4})
+
+	h, done, err := p.Fetch(0, 1, core.Hint{ObjectID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.RLock()
+	if h.Data()[0] != 1 {
+		t.Fatal("demand page has wrong data")
+	}
+	h.RUnlock()
+	h.Release()
+	// The demand miss costs one read latency even though five pages moved.
+	if done != sim.Time(be.readLat) {
+		t.Errorf("demand fetch done at %v, want %v", done, sim.Time(be.readLat))
+	}
+
+	st := p.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Prefetches != 4 {
+		t.Errorf("prefetches = %d, want 4", st.Prefetches)
+	}
+	if be.batchReads != 1 {
+		t.Errorf("batch dispatches = %d, want 1 (demand + read-ahead in one batch)", be.batchReads)
+	}
+	if be.reads != 5 {
+		t.Errorf("pages read = %d, want 5", be.reads)
+	}
+
+	// Pages 2..5 now hit in memory without any further backend read.
+	for lpn := core.LPN(2); lpn <= 5; lpn++ {
+		h, _, err := p.Fetch(0, lpn, core.Hint{ObjectID: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.RLock()
+		if h.Data()[0] != byte(lpn) {
+			t.Errorf("prefetched page %d has wrong data", lpn)
+		}
+		h.RUnlock()
+		h.Release()
+	}
+	st = p.Stats()
+	if st.Misses != 1 {
+		t.Errorf("sequential scan missed %d times, want 1", st.Misses)
+	}
+	if st.PrefetchHits != 4 {
+		t.Errorf("prefetch hits = %d, want 4", st.PrefetchHits)
+	}
+	if be.reads != 5 {
+		t.Errorf("pages read after scan = %d, want 5 (no extra reads)", be.reads)
+	}
+}
+
+func TestPoolReadAheadSkipsUnmappedAndResident(t *testing.T) {
+	be := newMemBatchBackend(128)
+	be.seed(3) // pages 1..3 exist; 4,5 do not
+	p := New(be, 16, 128, nil)
+	p.Configure(Options{ReadAhead: 4})
+
+	// Make page 2 resident first (single-page miss path: nothing to stage
+	// beyond it except 3).
+	h, _, err := p.Fetch(0, 2, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	st := p.Stats()
+	if st.Prefetches != 1 {
+		t.Fatalf("prefetches after first fetch = %d, want 1 (page 3 only)", st.Prefetches)
+	}
+
+	// Fetching page 1 stages nothing: 2 and 3 are resident, 4+ unmapped.
+	h, _, err = p.Fetch(0, 1, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	st = p.Stats()
+	if st.Prefetches != 1 {
+		t.Errorf("prefetches = %d, want 1 (resident and unmapped pages skipped)", st.Prefetches)
+	}
+}
+
+func TestPoolGroupWriteBack(t *testing.T) {
+	be := newMemBatchBackend(128)
+	p := New(be, 16, 128, nil)
+	p.Configure(Options{GroupWriteBack: true})
+
+	const n = 6
+	for i := 1; i <= n; i++ {
+		h, _, err := p.NewPage(0, core.LPN(i), core.Hint{ObjectID: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Lock()
+		h.Data()[0] = byte(i)
+		h.Unlock()
+		h.MarkDirty()
+		h.Release()
+	}
+	done, err := p.FlushAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One batched dispatch covering all six pages, costing one write
+	// latency of virtual time instead of six.
+	if be.batchWrites != 1 {
+		t.Errorf("batch write dispatches = %d, want 1", be.batchWrites)
+	}
+	if be.writes != n {
+		t.Errorf("pages written = %d, want %d", be.writes, n)
+	}
+	if done != sim.Time(be.writeLat) {
+		t.Errorf("group flush done at %v, want %v (overlapped)", done, sim.Time(be.writeLat))
+	}
+	st := p.Stats()
+	if st.Writebacks != n || st.GroupFlushes != 1 || st.Dirty != 0 {
+		t.Errorf("stats after group flush: %+v", st)
+	}
+	for i := 1; i <= n; i++ {
+		if be.pages[core.LPN(i)][0] != byte(i) {
+			t.Errorf("page %d content lost in group flush", i)
+		}
+	}
+}
+
+func TestPoolGroupFlushSomeHonoursLimit(t *testing.T) {
+	be := newMemBatchBackend(128)
+	p := New(be, 16, 128, nil)
+	p.Configure(Options{GroupWriteBack: true})
+	for i := 1; i <= 5; i++ {
+		h, _, err := p.NewPage(0, core.LPN(i), core.Hint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.MarkDirty()
+		h.Release()
+	}
+	n, _, err := p.FlushSome(0, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("FlushSome = %d, %v; want 3", n, err)
+	}
+	if p.Stats().Dirty != 2 {
+		t.Fatalf("dirty after partial group flush = %d, want 2", p.Stats().Dirty)
+	}
+	n, _, err = p.FlushSome(0, 100)
+	if err != nil || n != 2 {
+		t.Fatalf("second FlushSome = %d, %v; want 2", n, err)
+	}
+}
+
+func TestPoolOptionsInertWithoutBatchBackend(t *testing.T) {
+	be := newMemBackend(128) // plain backend: no batch interface
+	p := New(be, 8, 128, nil)
+	p.Configure(Options{ReadAhead: 4, GroupWriteBack: true})
+
+	data := make([]byte, 128)
+	if _, err := be.WritePage(0, 1, data, core.Hint{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.WritePage(0, 2, data, core.Hint{}); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := p.Fetch(0, 1, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.MarkDirty()
+	h.Release()
+	if _, err := p.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Prefetches != 0 || st.GroupFlushes != 0 {
+		t.Errorf("batch features ran without a batch backend: %+v", st)
+	}
+}

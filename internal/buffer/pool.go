@@ -26,6 +26,18 @@ type Backend interface {
 	WritePage(now sim.Time, lpn core.LPN, data []byte, hint core.Hint) (sim.Time, error)
 }
 
+// BatchBackend is the optional batched interface of a backend.  When the
+// backend provides it (as *core.Manager does, through the asynchronous I/O
+// scheduler), the pool uses it for sequential read-ahead and for group
+// write-back, so multi-page I/O stripes over the device's dies and overlaps
+// in virtual time instead of serializing page by page.
+type BatchBackend interface {
+	Backend
+	ReadPages(now sim.Time, lpns []core.LPN, bufs [][]byte) ([]core.PageRead, sim.Time)
+	WritePages(now sim.Time, writes []core.PageWrite) (sim.Time, error)
+	Mapped(lpn core.LPN) bool
+}
+
 // Recorder receives physical I/O notifications per database object; the DB
 // layer uses it to maintain the per-object statistics consumed by the Region
 // Advisor.  A nil Recorder disables recording.
@@ -45,14 +57,15 @@ var (
 
 // Frame is one page-sized slot of the pool.
 type Frame struct {
-	mu    sync.RWMutex // content latch
-	lpn   core.LPN
-	data  []byte
-	hint  core.Hint
-	dirty atomic.Bool // set by MarkDirty without the pool mutex
-	valid bool
-	pins  int
-	ref   bool
+	mu         sync.RWMutex // content latch
+	lpn        core.LPN
+	data       []byte
+	hint       core.Hint
+	dirty      atomic.Bool // set by MarkDirty without the pool mutex
+	valid      bool
+	pins       int
+	ref        bool
+	prefetched bool // staged by read-ahead, not yet demanded
 }
 
 // Handle is a pinned reference to a frame.  Callers must Release it exactly
@@ -108,6 +121,13 @@ type Stats struct {
 	NewPages   int64
 	Evictions  int64
 	Writebacks int64
+	// Prefetches counts pages staged by sequential read-ahead;
+	// PrefetchHits counts later demand hits on those pages.
+	Prefetches   int64
+	PrefetchHits int64
+	// GroupFlushes counts batched write-back dispatches (each covering one
+	// or more dirty pages).
+	GroupFlushes int64
 }
 
 // HitRatio returns hits / (hits + misses), or zero when idle.
@@ -119,21 +139,37 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// Options tune the pool's batched-I/O behaviour.  The zero value disables
+// both features (single-page I/O only).
+type Options struct {
+	// ReadAhead is the number of sequentially-next pages staged through the
+	// batch backend on a demand miss.  Zero disables read-ahead.
+	ReadAhead int
+	// GroupWriteBack makes FlushAll/FlushSome write dirty pages as one
+	// die-striped batch instead of one page at a time.
+	GroupWriteBack bool
+}
+
 // Pool is the buffer pool.
 type Pool struct {
 	mu       sync.Mutex
 	backend  Backend
+	batch    BatchBackend // nil when the backend has no batch interface
 	recorder Recorder
 	frames   []*Frame
 	table    map[core.LPN]int
 	hand     int
 	pageSize int
+	opts     Options
 
-	hits       int64
-	misses     int64
-	newPages   int64
-	evictions  int64
-	writebacks int64
+	hits         int64
+	misses       int64
+	newPages     int64
+	evictions    int64
+	writebacks   int64
+	prefetches   int64
+	prefetchHits int64
+	groupFlushes int64
 }
 
 // New creates a pool of frameCount frames of pageSize bytes over the
@@ -149,10 +185,24 @@ func New(backend Backend, frameCount, pageSize int, recorder Recorder) *Pool {
 		table:    make(map[core.LPN]int, frameCount),
 		pageSize: pageSize,
 	}
+	if bb, ok := backend.(BatchBackend); ok {
+		p.batch = bb
+	}
 	for i := range p.frames {
 		p.frames[i] = &Frame{data: make([]byte, pageSize)}
 	}
 	return p
+}
+
+// Configure sets the pool's batched-I/O options.  Options that need the
+// batch backend are silently inert when the backend does not provide it.
+func (p *Pool) Configure(opts Options) {
+	p.mu.Lock()
+	if opts.ReadAhead < 0 {
+		opts.ReadAhead = 0
+	}
+	p.opts = opts
+	p.mu.Unlock()
 }
 
 // PageSize returns the frame size in bytes.
@@ -163,12 +213,15 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := Stats{
-		Frames:     len(p.frames),
-		Hits:       p.hits,
-		Misses:     p.misses,
-		NewPages:   p.newPages,
-		Evictions:  p.evictions,
-		Writebacks: p.writebacks,
+		Frames:       len(p.frames),
+		Hits:         p.hits,
+		Misses:       p.misses,
+		NewPages:     p.newPages,
+		Evictions:    p.evictions,
+		Writebacks:   p.writebacks,
+		Prefetches:   p.prefetches,
+		PrefetchHits: p.prefetchHits,
+		GroupFlushes: p.groupFlushes,
 	}
 	for _, f := range p.frames {
 		if f.valid {
@@ -185,18 +238,33 @@ func (p *Pool) Stats() Stats {
 func (p *Pool) ResetCounters() {
 	p.mu.Lock()
 	p.hits, p.misses, p.newPages, p.evictions, p.writebacks = 0, 0, 0, 0, 0
+	p.prefetches, p.prefetchHits, p.groupFlushes = 0, 0, 0
 	p.mu.Unlock()
 }
 
 // Fetch pins the page, reading it from the backend on a miss.  The returned
 // time includes any eviction write-back and the read itself.
+//
+// When read-ahead is configured and the backend supports batching, a miss
+// also stages the next sequential pages of the LPN space: they are read in
+// the same scheduler batch as the demanded page (striping over dies costs
+// almost no extra virtual time) and parked unpinned in the pool, so an
+// upcoming sequential access hits in memory instead of missing.
 func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.Time, error) {
 	p.mu.Lock()
 	if idx, ok := p.table[lpn]; ok {
 		f := p.frames[idx]
 		f.pins++
 		f.ref = true
+		// The demander knows the page's true placement hint; refresh it so a
+		// frame staged by read-ahead across an object boundary is written
+		// back (and charged) under the right object, not the prefetcher's.
+		f.hint = hint
 		p.hits++
+		if f.prefetched {
+			f.prefetched = false
+			p.prefetchHits++
+		}
 		p.mu.Unlock()
 		return &Handle{pool: p, frame: f, idx: idx}, now, nil
 	}
@@ -211,6 +279,7 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 	f.hint = hint
 	f.valid = true
 	f.dirty.Store(false)
+	f.prefetched = false
 	f.pins = 1
 	f.ref = true
 	// Hold the frame's content latch across the read so that a concurrent
@@ -218,22 +287,122 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 	// it) blocks on the latch until the data has actually arrived.
 	f.mu.Lock()
 	p.table[lpn] = idx
+
+	// Stage sequential read-ahead frames while still holding p.mu.
+	var pfFrames []*Frame
+	if p.opts.ReadAhead > 0 && p.batch != nil {
+		pfFrames, now = p.stagePrefetchLocked(now, lpn, hint)
+	}
 	p.mu.Unlock()
 
-	_, done, err := p.backend.ReadPage(now, lpn, f.data)
+	if len(pfFrames) == 0 {
+		_, done, err := p.backend.ReadPage(now, lpn, f.data)
+		f.mu.Unlock()
+		if err != nil {
+			p.mu.Lock()
+			delete(p.table, lpn)
+			f.valid = false
+			f.pins = 0
+			p.mu.Unlock()
+			return nil, done, fmt.Errorf("buffer: fetch lpn %d: %w", lpn, err)
+		}
+		if p.recorder != nil {
+			p.recorder.RecordPhysRead(hint.ObjectID, 1)
+		}
+		return &Handle{pool: p, frame: f, idx: idx}, done, nil
+	}
+
+	// Batched path: demand page first, prefetch pages after it.
+	lpns := make([]core.LPN, 0, 1+len(pfFrames))
+	bufs := make([][]byte, 0, 1+len(pfFrames))
+	lpns = append(lpns, lpn)
+	bufs = append(bufs, f.data)
+	for _, pf := range pfFrames {
+		lpns = append(lpns, pf.lpn)
+		bufs = append(bufs, pf.data)
+	}
+	reads, _ := p.batch.ReadPages(now, lpns, bufs)
+
+	goodPages := int64(0)
+	p.mu.Lock()
+	for i, pf := range pfFrames {
+		pf.mu.Unlock()
+		// Drop the staging pin only: a concurrent Fetch may have hit the
+		// published frame and pinned it while the batch was in flight.
+		if pf.pins > 0 {
+			pf.pins--
+		}
+		if reads[i+1].Err != nil {
+			// The page vanished between staging and the read (e.g. a
+			// concurrent trim): unpublish the frame unless someone else
+			// still holds it pinned.
+			if pf.pins == 0 {
+				delete(p.table, pf.lpn)
+				pf.valid = false
+				pf.prefetched = false
+			}
+			continue
+		}
+		goodPages++
+	}
+	p.mu.Unlock()
+	demand := reads[0]
 	f.mu.Unlock()
-	if err != nil {
+	if demand.Err != nil {
 		p.mu.Lock()
 		delete(p.table, lpn)
 		f.valid = false
 		f.pins = 0
 		p.mu.Unlock()
-		return nil, done, fmt.Errorf("buffer: fetch lpn %d: %w", lpn, err)
+		return nil, demand.Done, fmt.Errorf("buffer: fetch lpn %d: %w", lpn, demand.Err)
 	}
 	if p.recorder != nil {
-		p.recorder.RecordPhysRead(hint.ObjectID, 1)
+		// Read-ahead pages are charged to the demanding object: sequential
+		// LPNs belong to the same extent in practice.
+		p.recorder.RecordPhysRead(hint.ObjectID, 1+goodPages)
 	}
-	return &Handle{pool: p, frame: f, idx: idx}, done, nil
+	// The caller pays for its own page only; the prefetched pages overlap
+	// on other dies and their (near-identical) completion is not the
+	// caller's concern.
+	return &Handle{pool: p, frame: f, idx: idx}, demand.Done, nil
+}
+
+// stagePrefetchLocked allocates and publishes frames for the mapped,
+// non-resident pages sequentially following lpn, returning them with their
+// content latches held.  Caller holds p.mu; the returned time includes any
+// eviction write-back the allocations caused.
+func (p *Pool) stagePrefetchLocked(now sim.Time, lpn core.LPN, hint core.Hint) ([]*Frame, sim.Time) {
+	var staged []*Frame
+	for i := 1; i <= p.opts.ReadAhead; i++ {
+		next := lpn + core.LPN(i)
+		if _, resident := p.table[next]; resident {
+			continue
+		}
+		if !p.batch.Mapped(next) {
+			continue
+		}
+		idx, t, err := p.allocFrameLocked(now)
+		if err != nil {
+			break // every frame pinned: the pool is too hot to prefetch into
+		}
+		now = t
+		pf := p.frames[idx]
+		pf.lpn = next
+		pf.hint = hint
+		pf.valid = true
+		pf.dirty.Store(false)
+		pf.prefetched = true
+		// Hold a pin while the read is in flight so a CLOCK sweep (even one
+		// triggered by the next staging allocation) cannot evict the frame;
+		// the pin is dropped once the batch completes.
+		pf.pins = 1
+		pf.ref = false // evict-first until a demand access promotes it
+		pf.mu.Lock()
+		p.table[next] = idx
+		staged = append(staged, pf)
+		p.prefetches++
+	}
+	return staged, now
 }
 
 // NewPage pins a frame for a brand-new page without reading the backend.
@@ -246,6 +415,7 @@ func (p *Pool) NewPage(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim
 		f := p.frames[idx]
 		f.pins++
 		f.ref = true
+		f.prefetched = false
 		f.dirty.Store(true)
 		for i := range f.data {
 			f.data[i] = 0
@@ -265,6 +435,7 @@ func (p *Pool) NewPage(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim
 	f.hint = hint
 	f.valid = true
 	f.dirty.Store(true)
+	f.prefetched = false
 	f.pins = 1
 	f.ref = true
 	for i := range f.data {
@@ -312,6 +483,7 @@ func (p *Pool) allocFrameLocked(now sim.Time) (int, sim.Time, error) {
 		delete(p.table, f.lpn)
 		f.valid = false
 		f.dirty.Store(false)
+		f.prefetched = false
 		p.evictions++
 		return idx, now, nil
 	}
@@ -349,10 +521,16 @@ func (p *Pool) flushFrameLocked(now sim.Time, idx int) (sim.Time, error) {
 // FlushAll writes every dirty, unpinned resident page back to the backend
 // (checkpoint).  Pinned pages are skipped — they are being modified by a
 // concurrent transaction and will be written back on eviction or at the next
-// checkpoint.
+// checkpoint.  With group write-back enabled the dirty pages go out as one
+// die-striped scheduler batch, so the checkpoint costs roughly one write per
+// die instead of one write per page in virtual time.
 func (p *Pool) FlushAll(now sim.Time) (sim.Time, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.opts.GroupWriteBack && p.batch != nil {
+		_, done, err := p.flushGroupLocked(now, len(p.frames))
+		return done, err
+	}
 	for idx, f := range p.frames {
 		if !f.valid || !f.dirty.Load() || f.pins > 0 {
 			continue
@@ -372,6 +550,9 @@ func (p *Pool) FlushAll(now sim.Time) (sim.Time, error) {
 func (p *Pool) FlushSome(now sim.Time, n int) (int, sim.Time, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.opts.GroupWriteBack && p.batch != nil {
+		return p.flushGroupLocked(now, n)
+	}
 	flushed := 0
 	for idx, f := range p.frames {
 		if flushed >= n {
@@ -390,6 +571,45 @@ func (p *Pool) FlushSome(now sim.Time, n int) (int, sim.Time, error) {
 	return flushed, now, nil
 }
 
+// flushGroupLocked writes up to max dirty unpinned pages back as a single
+// batch through the batch backend.  The backend allocates the batch's slots
+// round-robin over the target regions' dies, so the programs stripe and
+// overlap in virtual time.  Caller holds p.mu.
+func (p *Pool) flushGroupLocked(now sim.Time, max int) (int, sim.Time, error) {
+	idxs := make([]int, 0, max)
+	writes := make([]core.PageWrite, 0, max)
+	for idx, f := range p.frames {
+		if len(idxs) >= max {
+			break
+		}
+		if !f.valid || !f.dirty.Load() || f.pins > 0 {
+			continue
+		}
+		idxs = append(idxs, idx)
+		writes = append(writes, core.PageWrite{LPN: f.lpn, Data: f.data, Hint: f.hint})
+	}
+	if len(writes) == 0 {
+		return 0, now, nil
+	}
+	done, err := p.batch.WritePages(now, writes)
+	if err != nil {
+		// Leave every page dirty: pages the batch did manage to program are
+		// remapped in the backend and will simply be written again (wasted
+		// work, never lost data).
+		return 0, now, err
+	}
+	for _, idx := range idxs {
+		f := p.frames[idx]
+		f.dirty.Store(false)
+		p.writebacks++
+		if p.recorder != nil {
+			p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
+		}
+	}
+	p.groupFlushes++
+	return len(idxs), done, nil
+}
+
 // Drop removes a page from the pool without writing it back (used when an
 // object is dropped and its pages trimmed).
 func (p *Pool) Drop(lpn core.LPN) {
@@ -401,6 +621,7 @@ func (p *Pool) Drop(lpn core.LPN) {
 			delete(p.table, lpn)
 			f.valid = false
 			f.dirty.Store(false)
+			f.prefetched = false
 		}
 	}
 }

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"noftl/internal/flash"
+	"noftl/internal/sim"
+)
+
+func newBatchTestManager(t *testing.T) *Manager {
+	t.Helper()
+	dev, err := flash.NewDevice(flash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(dev, DefaultOptions())
+}
+
+func TestWritePagesStripesAcrossDies(t *testing.T) {
+	m := newBatchTestManager(t)
+	geo := m.Device().Geometry()
+	const n = 16
+	payload := make([]byte, geo.PageSize)
+
+	start := m.AllocateLPNs(n)
+	writes := make([]PageWrite, n)
+	for i := range writes {
+		writes[i] = PageWrite{LPN: start + LPN(i), Data: payload}
+	}
+	end, err := m.WritePages(0, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dies := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		addr, ok := m.Locate(start + LPN(i))
+		if !ok {
+			t.Fatalf("lpn %d not mapped after batch write", start+LPN(i))
+		}
+		dies[addr.Die] = true
+	}
+	if len(dies) != geo.Dies() {
+		t.Errorf("batch of %d writes touched %d dies, want all %d (die striping)", n, len(dies), geo.Dies())
+	}
+
+	// Serial lower bound: n sequential programs, each waiting for the
+	// previous.  The striped batch must be well under it.
+	tm := m.Device().Timing()
+	serial := sim.Time(0)
+	for i := 0; i < n; i++ {
+		serial = serial.Add(tm.Transfer + tm.ProgramPage)
+	}
+	if end >= serial {
+		t.Errorf("batched write makespan %v, serial bound %v: no overlap won", end, serial)
+	}
+}
+
+func TestReadPagesOverlapAndPartialErrors(t *testing.T) {
+	m := newBatchTestManager(t)
+	geo := m.Device().Geometry()
+	const n = 8
+	payload := make([]byte, geo.PageSize)
+	payload[0] = 0xAB
+
+	start := m.AllocateLPNs(n)
+	writes := make([]PageWrite, n)
+	for i := range writes {
+		writes[i] = PageWrite{LPN: start + LPN(i), Data: payload}
+	}
+	if _, err := m.WritePages(0, writes); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetCounters()
+
+	unmapped := start + LPN(n) + 1000
+	lpns := make([]LPN, 0, n+1)
+	for i := 0; i < n; i++ {
+		lpns = append(lpns, start+LPN(i))
+	}
+	lpns = append(lpns, unmapped)
+
+	reads, end := m.ReadPages(0, lpns, nil)
+	if len(reads) != n+1 {
+		t.Fatalf("got %d results, want %d", len(reads), n+1)
+	}
+	for i := 0; i < n; i++ {
+		if reads[i].Err != nil {
+			t.Fatalf("read %d: %v", i, reads[i].Err)
+		}
+		if reads[i].Data[0] != 0xAB {
+			t.Errorf("read %d returned wrong data", i)
+		}
+		if LPN(reads[i].Meta.LPN) != lpns[i] {
+			t.Errorf("read %d meta LPN %d, want %d", i, reads[i].Meta.LPN, lpns[i])
+		}
+	}
+	if !errors.Is(reads[n].Err, ErrUnmappedPage) {
+		t.Errorf("unmapped read error = %v, want ErrUnmappedPage", reads[n].Err)
+	}
+
+	// The batch was striped over every die by the preceding WritePages, so
+	// the reads overlap: the makespan must be far below the serial sum.
+	tm := m.Device().Timing()
+	serial := sim.Time(0)
+	for i := 0; i < n; i++ {
+		serial = serial.Add(tm.ReadPage + tm.Transfer)
+	}
+	if end >= serial {
+		t.Errorf("batched read makespan %v, serial bound %v: no overlap won", end, serial)
+	}
+}
+
+func TestWritePagesOverwriteKeepsAccounting(t *testing.T) {
+	m := newBatchTestManager(t)
+	geo := m.Device().Geometry()
+	payload := make([]byte, geo.PageSize)
+	const n = 8
+	start := m.AllocateLPNs(n)
+	writes := make([]PageWrite, n)
+	for i := range writes {
+		writes[i] = PageWrite{LPN: start + LPN(i), Data: payload}
+	}
+	if _, err := m.WritePages(0, writes); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting the same logical pages must not grow validPages.
+	if _, err := m.WritePages(0, writes); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := m.Stats().RegionByName(DefaultRegionName)
+	if !ok {
+		t.Fatal("default region stats missing")
+	}
+	if stats.ValidPages != n {
+		t.Errorf("validPages = %d after overwrite batch, want %d", stats.ValidPages, n)
+	}
+	if stats.HostWrites != 2*n {
+		t.Errorf("hostWrites = %d, want %d", stats.HostWrites, 2*n)
+	}
+}
+
+func TestWritePagesRegionFullWithoutSpill(t *testing.T) {
+	dev, err := flash.NewDevice(flash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.DisableSpill = true
+	m := NewManager(dev, opts)
+	r, err := m.CreateRegion(RegionSpec{Name: "tiny", MaxChips: 1, MaxSizeBytes: 2 * int64(dev.Geometry().PageSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, dev.Geometry().PageSize)
+	const n = 4 // over the 2-page logical cap
+	start := m.AllocateLPNs(n)
+	writes := make([]PageWrite, n)
+	for i := range writes {
+		writes[i] = PageWrite{LPN: start + LPN(i), Data: payload, Hint: Hint{Region: r.ID()}}
+	}
+	if _, err := m.WritePages(0, writes); !errors.Is(err, ErrRegionFull) {
+		t.Fatalf("over-capacity batch error = %v, want ErrRegionFull", err)
+	}
+	// Admission failed before any program was issued: nothing mapped.
+	for i := 0; i < n; i++ {
+		if m.Mapped(start + LPN(i)) {
+			t.Errorf("lpn %d mapped after failed batch", start+LPN(i))
+		}
+	}
+}

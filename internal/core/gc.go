@@ -2,6 +2,7 @@ package core
 
 import (
 	"noftl/internal/flash"
+	"noftl/internal/iosched"
 	"noftl/internal/sim"
 )
 
@@ -52,53 +53,73 @@ func (m *Manager) pickVictim(da *dieAlloc) int {
 
 // relocateAndErase moves the victim's still-valid pages to the die's GC open
 // block using the on-die copyback command, then erases the victim and returns
-// it to the free list.  Caller holds m.mu.
+// it to the free list.  The copybacks are submitted to the I/O scheduler as
+// one GC-priority batch; note that priorities order requests within a single
+// dispatch only — a host request arriving after this batch has been
+// dispatched still queues behind it on the die, exactly as on hardware that
+// cannot abort an in-flight program.  Caller holds m.mu.
 func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim int, pagesPerBlock int) sim.Time {
 	vblk := &da.blocks[victim]
-	for page := 0; page < pagesPerBlock && vblk.validCount > 0; page++ {
+
+	// Reserve a destination slot for every valid page, then dispatch the
+	// copybacks as one batch.
+	type move struct {
+		page int
+		dst  slotRef
+	}
+	var moves []move
+	var reqs []iosched.Request
+	for page := 0; page < pagesPerBlock; page++ {
 		if !vblk.valid[page] {
 			continue
 		}
 		dst, ok := m.gcSlot(da)
 		if !ok {
-			// No space to relocate into: give up on this victim (it stays
-			// closed and keeps its valid pages).
+			// No space to relocate into: give up on the remaining pages (the
+			// victim stays closed and keeps them).
 			break
 		}
-		src := ppa{Die: da.die, Block: victim, Page: page}
-		dstAddr := ppa{Die: da.die, Block: dst.block, Page: dst.page}
-		meta, done, err := m.dev.Copyback(now, src, dstAddr)
-		if err != nil {
-			// The device refused (worn-out destination, …).  Skip the page;
-			// it remains valid in the victim, which therefore cannot be
-			// erased this round.
-			dblk := &da.blocks[dst.block]
-			dblk.nextPage-- // release the reserved slot
+		moves = append(moves, move{page: page, dst: dst})
+		reqs = append(reqs, iosched.Request{
+			Op:       iosched.OpCopyback,
+			Addr:     ppa{Die: da.die, Block: victim, Page: page},
+			Dst:      ppa{Die: da.die, Block: dst.block, Page: dst.page},
+			Priority: iosched.PrioGC,
+		})
+	}
+	cs, end := m.sched.Submit(now, reqs)
+	for i, c := range cs {
+		mv := moves[i]
+		dblk := &da.blocks[mv.dst.block]
+		if c.Err != nil {
+			// The device refused (worn-out destination, …).  Release the
+			// reserved slot; the page remains valid in the victim, which
+			// therefore cannot be erased this round.
+			dblk.nextPage--
 			continue
 		}
-		now = done
-		lpn := LPN(meta.LPN)
-		dblk := &da.blocks[dst.block]
-		dblk.lpns[dst.page] = lpn
-		dblk.valid[dst.page] = true
+		lpn := LPN(c.Meta.LPN)
+		dblk.lpns[mv.dst.page] = lpn
+		dblk.valid[mv.dst.page] = true
 		dblk.validCount++
 		if dblk.nextPage >= pagesPerBlock {
 			dblk.state = blkClosed
-			if da.gcOpen == dst.block {
+			if da.gcOpen == mv.dst.block {
 				da.gcOpen = -1
 			}
 		}
 		// Redirect the logical page to its new physical home.
-		m.mapping[lpn] = mapEntry{addr: dstAddr, region: m.dieOwner[da.die]}
-		vblk.valid[page] = false
+		m.mapping[lpn] = mapEntry{addr: ppa{Die: da.die, Block: mv.dst.block, Page: mv.dst.page}, region: m.dieOwner[da.die]}
+		vblk.valid[mv.page] = false
 		vblk.validCount--
 		r.gcCopybacks++
 	}
+	now = end
 	if vblk.validCount > 0 {
 		// Could not fully clean the victim; leave it closed.
 		return now
 	}
-	done, err := m.dev.EraseBlock(now, flash.BlockAddr{Die: da.die, Block: victim})
+	done, err := m.sched.Erase(now, flash.BlockAddr{Die: da.die, Block: victim}, iosched.PrioGC)
 	if err != nil {
 		// A worn-out block stays out of circulation: mark it closed with no
 		// valid pages so it is never picked again.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"noftl/internal/flash"
+	"noftl/internal/iosched"
 	"noftl/internal/sim"
 )
 
@@ -135,10 +136,11 @@ type mapEntry struct {
 // out-of-place updates, and runs garbage collection and wear leveling per
 // region using DBMS-side knowledge.
 type Manager struct {
-	mu   sync.Mutex
-	dev  *flash.Device
-	geo  flash.Geometry
-	opts Options
+	mu    sync.Mutex
+	dev   *flash.Device
+	geo   flash.Geometry
+	opts  Options
+	sched *iosched.Scheduler
 
 	regions     map[string]*Region
 	regionsByID map[RegionID]*Region
@@ -161,6 +163,7 @@ func NewManager(dev *flash.Device, opts Options) *Manager {
 		dev:         dev,
 		geo:         dev.Geometry(),
 		opts:        opts,
+		sched:       iosched.New(dev),
 		regions:     make(map[string]*Region),
 		regionsByID: make(map[RegionID]*Region),
 		mapping:     make(map[LPN]mapEntry),
@@ -195,6 +198,10 @@ func NewManager(dev *flash.Device, opts Options) *Manager {
 
 // Device returns the underlying flash device.
 func (m *Manager) Device() *flash.Device { return m.dev }
+
+// Scheduler returns the asynchronous I/O scheduler every flash command of
+// this manager is routed through.
+func (m *Manager) Scheduler() *iosched.Scheduler { return m.sched }
 
 // Mode returns the placement mode the manager was created with.
 func (m *Manager) Mode() PlacementMode { return m.opts.Mode }
@@ -521,7 +528,7 @@ func (m *Manager) ReadPage(now sim.Time, lpn LPN, buf []byte) ([]byte, sim.Time,
 	r.hostReads++
 	m.mu.Unlock()
 
-	data, _, done, err := m.dev.ReadPage(now, e.addr, buf)
+	data, _, done, err := m.sched.Read(now, e.addr, buf, iosched.PrioHostRead)
 	if err != nil {
 		return nil, done, err
 	}
@@ -583,7 +590,7 @@ func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Tim
 		Seq:      m.seq,
 		Flags:    h.Flags,
 	}
-	done, err := m.dev.ProgramPage(now, addr, data, meta)
+	done, err := m.sched.Program(now, addr, data, meta, iosched.PrioHostWrite)
 	if err != nil {
 		// Roll back the slot reservation bookkeeping; the block page is
 		// still erased because the program failed.

@@ -168,6 +168,7 @@ func (m *Manager) ResetCounters() {
 	}
 	m.mu.Unlock()
 	m.dev.ResetCounters()
+	m.sched.Metrics().Reset()
 }
 
 // LatencySnapshot aggregates the read and write latency histograms across

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestRunAblationBatchedIO(t *testing.T) {
+	res, err := RunAblationBatchedIO(512, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadSpeedup <= 1.5 {
+		t.Errorf("batched reads speedup %.2fx, want > 1.5x over serial", res.ReadSpeedup)
+	}
+	if res.WriteSpeedup <= 1.5 {
+		t.Errorf("batched writes speedup %.2fx, want > 1.5x over serial", res.WriteSpeedup)
+	}
+	if res.SerialReadTime <= 0 || res.BatchedReadTime <= 0 {
+		t.Errorf("degenerate timings: %+v", res)
+	}
+}

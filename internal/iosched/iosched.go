@@ -1,0 +1,388 @@
+// Package iosched implements the asynchronous I/O scheduler that sits
+// between the NoFTL space manager (or the FTL baseline) and the native flash
+// device.
+//
+// The device model (internal/flash) exposes synchronous commands whose
+// virtual-time cost is charged against per-die and per-channel resources.
+// Issuing commands one at a time from a single actor therefore serializes
+// everything on the actor's own virtual cursor, even when the commands target
+// different dies that could proceed in parallel.  The scheduler restores the
+// device's parallelism: a batch of requests is dispatched so that requests to
+// different dies all start at the caller's current virtual time and overlap,
+// while requests to the same die serialize on the die's resource exactly as
+// the hardware would (FCFS per die, matching the device's dieRes contention
+// model).
+//
+// Two forms are offered:
+//
+//   - Submit(now, reqs): dispatch a batch synchronously and return one
+//     Completion per request (same order), plus the batch makespan.  This is
+//     the form the space manager and buffer pool use (via ReadPages,
+//     WritePages and the GC copyback batches).
+//   - Enqueue(req) / Wait(now, ticket): build up a batch asynchronously and
+//     collect completions later (e.g. a background agent posting work it
+//     will harvest at its next wake-up).  Pending requests are dispatched
+//     when Flush or Wait is called.  Every ticket must eventually be waited
+//     on: uncollected completions are retained indefinitely.
+//
+// Requests carry a priority class (host reads > host writes > GC/copyback).
+// Within one dispatch the per-die queues are drained in priority order, so a
+// host read enqueued alongside background GC traffic acquires the die first.
+// Priorities do not reach across dispatches: once a batch is dispatched its
+// device time is reserved, exactly as hardware cannot abort an in-flight
+// program.
+package iosched
+
+import (
+	"sort"
+	"sync"
+
+	"noftl/internal/flash"
+	"noftl/internal/metrics"
+	"noftl/internal/sim"
+)
+
+// Priority is the scheduling class of a request.  Lower values are served
+// first when requests compete for the same die within one dispatch.
+type Priority uint8
+
+const (
+	// PrioHostRead is the highest class: a transaction is blocked on it.
+	PrioHostRead Priority = iota
+	// PrioHostWrite covers foreground writes and write-back groups.
+	PrioHostWrite
+	// PrioGC covers garbage-collection copyback, relocation and erase work.
+	PrioGC
+	numPriorities
+)
+
+// String returns the metric suffix of the priority class.
+func (p Priority) String() string {
+	switch p {
+	case PrioHostRead:
+		return "host_read"
+	case PrioHostWrite:
+		return "host_write"
+	case PrioGC:
+		return "gc"
+	default:
+		return "unknown"
+	}
+}
+
+// Op identifies the flash command a request performs.
+type Op uint8
+
+const (
+	// OpReadPage reads a full page (data + metadata).
+	OpReadPage Op = iota
+	// OpReadMeta reads only the OOB metadata of a page.
+	OpReadMeta
+	// OpProgram programs a page.
+	OpProgram
+	// OpErase erases a block.
+	OpErase
+	// OpCopyback copies a page to an erased page on the same die.
+	OpCopyback
+)
+
+// Request describes one flash command to schedule.
+type Request struct {
+	// Op selects the command.
+	Op Op
+	// Addr is the target page of OpReadPage/OpReadMeta/OpProgram and the
+	// source page of OpCopyback.
+	Addr flash.Addr
+	// Dst is the destination page of OpCopyback.
+	Dst flash.Addr
+	// Block is the target of OpErase.
+	Block flash.BlockAddr
+	// Buf optionally receives the data of OpReadPage (allocated when nil).
+	Buf []byte
+	// Data is the payload of OpProgram.
+	Data []byte
+	// Meta is the OOB metadata of OpProgram.
+	Meta flash.PageMeta
+	// Priority is the scheduling class.
+	Priority Priority
+	// Tag is an opaque caller value (e.g. the LPN) carried into the
+	// Completion.
+	Tag uint64
+}
+
+// die returns the die the request occupies.
+func (r Request) die() int {
+	if r.Op == OpErase {
+		return r.Block.Die
+	}
+	return r.Addr.Die
+}
+
+// Completion is the result of one request.
+type Completion struct {
+	// Op, Priority and Tag are copied from the request.
+	Op       Op
+	Priority Priority
+	Tag      uint64
+	// Data is the page read by OpReadPage (nil otherwise or on error).
+	Data []byte
+	// Meta is the metadata read by OpReadPage/OpReadMeta, or the metadata
+	// inherited by the destination of OpCopyback.
+	Meta flash.PageMeta
+	// Done is the virtual completion time of the request (equal to the
+	// submission time when Err is non-nil and the device refused the
+	// command without consuming time).
+	Done sim.Time
+	// Err is the device error, if any.
+	Err error
+}
+
+// Device is the narrow flash interface the scheduler drives.  *flash.Device
+// satisfies it; tests may substitute fakes.
+type Device interface {
+	Geometry() flash.Geometry
+	ReadPage(now sim.Time, addr flash.Addr, buf []byte) ([]byte, flash.PageMeta, sim.Time, error)
+	ReadMeta(now sim.Time, addr flash.Addr) (flash.PageMeta, sim.Time, error)
+	ProgramPage(now sim.Time, addr flash.Addr, data []byte, meta flash.PageMeta) (sim.Time, error)
+	EraseBlock(now sim.Time, b flash.BlockAddr) (sim.Time, error)
+	Copyback(now sim.Time, src, dst flash.Addr) (flash.PageMeta, sim.Time, error)
+}
+
+// Ticket identifies an asynchronously enqueued request.
+type Ticket uint64
+
+// queued is a pending async request.
+type queued struct {
+	req    Request
+	ticket Ticket
+	seq    uint64 // enqueue order, to keep per-die FIFO within a priority
+}
+
+// Scheduler is the asynchronous I/O scheduler.  It is safe for concurrent
+// use; dispatching holds an internal mutex because the underlying device
+// model's virtual-time resources do all contention accounting.
+type Scheduler struct {
+	mu         sync.Mutex
+	dev        Device
+	geo        flash.Geometry
+	pending    []queued
+	nextTicket Ticket
+	nextSeq    uint64
+	results    map[Ticket]Completion
+
+	set        *metrics.Set
+	batches    *metrics.Counter
+	requests   *metrics.Counter
+	reqsByPrio [numPriorities]*metrics.Counter
+	latByPrio  [numPriorities]*metrics.Histogram
+	batchSpan  *metrics.Histogram
+	queueDepth *metrics.Gauge
+	maxQueue   *metrics.Gauge
+	maxBatch   *metrics.Gauge
+}
+
+// New creates a scheduler over the device.
+func New(dev Device) *Scheduler {
+	s := &Scheduler{
+		dev:     dev,
+		geo:     dev.Geometry(),
+		results: make(map[Ticket]Completion),
+		set:     metrics.NewSet(),
+	}
+	s.batches = s.set.Counter("iosched.batches")
+	s.requests = s.set.Counter("iosched.requests")
+	for p := Priority(0); p < numPriorities; p++ {
+		s.reqsByPrio[p] = s.set.Counter("iosched.requests." + p.String())
+		s.latByPrio[p] = s.set.Histogram("iosched.latency." + p.String())
+	}
+	s.batchSpan = s.set.Histogram("iosched.batch_span")
+	s.queueDepth = s.set.Gauge("iosched.queue_depth")
+	s.maxQueue = s.set.Gauge("iosched.max_queue_depth")
+	s.maxBatch = s.set.Gauge("iosched.max_batch_size")
+	return s
+}
+
+// Metrics returns the scheduler's metric set (queue depth, batch sizes,
+// per-priority request counts and latencies).
+func (s *Scheduler) Metrics() *metrics.Set { return s.set }
+
+// Submit dispatches a batch of requests starting at the caller's virtual time
+// and returns one completion per request, in request order, together with the
+// batch makespan (the latest completion time; now when the batch is empty).
+//
+// Requests to different dies overlap in virtual time; requests to the same
+// die are served in priority order (FIFO within a class) on the die's
+// single-server queue.
+func (s *Scheduler) Submit(now sim.Time, reqs []Request) ([]Completion, sim.Time) {
+	if len(reqs) == 0 {
+		return nil, now
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dispatchLocked(now, reqs)
+}
+
+// dispatchLocked issues the batch against the device.  Caller holds s.mu.
+func (s *Scheduler) dispatchLocked(now sim.Time, reqs []Request) ([]Completion, sim.Time) {
+	// Dispatch order: priority class first, then per-die FIFO.  The index
+	// sort is stable so that same-priority requests to one die keep their
+	// submission order (required by the NAND sequential-programming
+	// constraint for programs to the same block).
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		if reqs[a].Priority != reqs[b].Priority {
+			return reqs[a].Priority < reqs[b].Priority
+		}
+		// Stability keeps submission order within (priority, die), which the
+		// NAND sequential-programming constraint requires for programs to
+		// the same block.
+		return reqs[a].die() < reqs[b].die()
+	})
+
+	completions := make([]Completion, len(reqs))
+	end := now
+	for _, i := range order {
+		req := reqs[i]
+		c := Completion{Op: req.Op, Priority: req.Priority, Tag: req.Tag}
+		switch req.Op {
+		case OpReadPage:
+			c.Data, c.Meta, c.Done, c.Err = s.dev.ReadPage(now, req.Addr, req.Buf)
+		case OpReadMeta:
+			c.Meta, c.Done, c.Err = s.dev.ReadMeta(now, req.Addr)
+		case OpProgram:
+			c.Done, c.Err = s.dev.ProgramPage(now, req.Addr, req.Data, req.Meta)
+		case OpErase:
+			c.Done, c.Err = s.dev.EraseBlock(now, req.Block)
+		case OpCopyback:
+			c.Meta, c.Done, c.Err = s.dev.Copyback(now, req.Addr, req.Dst)
+		default:
+			c.Done = now
+		}
+		if c.Done > end {
+			end = c.Done
+		}
+		if c.Err == nil {
+			s.latByPrio[req.Priority].Observe(c.Done.Sub(now))
+		}
+		s.reqsByPrio[req.Priority].Inc()
+		completions[i] = c
+	}
+	s.batches.Inc()
+	s.requests.Add(int64(len(reqs)))
+	if int64(len(reqs)) > s.maxBatch.Value() {
+		s.maxBatch.Set(int64(len(reqs)))
+	}
+	s.batchSpan.Observe(end.Sub(now))
+	return completions, end
+}
+
+// Enqueue adds a request to the pending queue without dispatching it and
+// returns a ticket to collect its completion with Wait.  Pending requests are
+// dispatched by the next Flush or Wait call; dies not targeted by pending
+// requests are unaffected.
+func (s *Scheduler) Enqueue(req Request) Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.nextTicket
+	s.nextTicket++
+	s.pending = append(s.pending, queued{req: req, ticket: t, seq: s.nextSeq})
+	s.nextSeq++
+	depth := int64(len(s.pending))
+	s.queueDepth.Set(depth)
+	if depth > s.maxQueue.Value() {
+		s.maxQueue.Set(depth)
+	}
+	return t
+}
+
+// QueueDepth returns the number of pending (enqueued, not yet dispatched)
+// requests.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Flush dispatches every pending request at the given virtual time and
+// returns the batch makespan (now when nothing was pending).  Completions are
+// retained until collected by Wait.
+func (s *Scheduler) Flush(now sim.Time) sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked(now)
+}
+
+// flushLocked dispatches the pending queue.  Caller holds s.mu.
+func (s *Scheduler) flushLocked(now sim.Time) sim.Time {
+	if len(s.pending) == 0 {
+		return now
+	}
+	reqs := make([]Request, len(s.pending))
+	tickets := make([]Ticket, len(s.pending))
+	for i, q := range s.pending {
+		reqs[i] = q.req
+		tickets[i] = q.ticket
+	}
+	s.pending = s.pending[:0]
+	s.queueDepth.Set(0)
+	completions, end := s.dispatchLocked(now, reqs)
+	for i, c := range completions {
+		s.results[tickets[i]] = c
+	}
+	return end
+}
+
+// Wait returns the completion of the given ticket, dispatching the pending
+// queue first if the ticket has not been served yet.  Each ticket may be
+// waited on exactly once.  ok is false for an unknown (or already collected)
+// ticket.
+func (s *Scheduler) Wait(now sim.Time, t Ticket) (Completion, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.results[t]
+	if !ok {
+		s.flushLocked(now)
+		c, ok = s.results[t]
+		if !ok {
+			return Completion{}, false
+		}
+	}
+	delete(s.results, t)
+	return c, true
+}
+
+// ---- single-request conveniences ----
+//
+// These keep the space manager's one-page paths on the scheduler (so every
+// flash command is accounted in the scheduler's metrics) without forcing
+// callers to build batches.
+
+// Read performs one page read at the given priority.
+func (s *Scheduler) Read(now sim.Time, addr flash.Addr, buf []byte, prio Priority) ([]byte, flash.PageMeta, sim.Time, error) {
+	cs, _ := s.Submit(now, []Request{{Op: OpReadPage, Addr: addr, Buf: buf, Priority: prio}})
+	c := cs[0]
+	return c.Data, c.Meta, c.Done, c.Err
+}
+
+// Program performs one page program at the given priority.
+func (s *Scheduler) Program(now sim.Time, addr flash.Addr, data []byte, meta flash.PageMeta, prio Priority) (sim.Time, error) {
+	cs, _ := s.Submit(now, []Request{{Op: OpProgram, Addr: addr, Data: data, Meta: meta, Priority: prio}})
+	return cs[0].Done, cs[0].Err
+}
+
+// Erase performs one block erase at the given priority.
+func (s *Scheduler) Erase(now sim.Time, b flash.BlockAddr, prio Priority) (sim.Time, error) {
+	cs, _ := s.Submit(now, []Request{{Op: OpErase, Block: b, Priority: prio}})
+	return cs[0].Done, cs[0].Err
+}
+
+// Copyback performs one on-die page copy at GC priority.
+func (s *Scheduler) Copyback(now sim.Time, src, dst flash.Addr) (flash.PageMeta, sim.Time, error) {
+	cs, _ := s.Submit(now, []Request{{Op: OpCopyback, Addr: src, Dst: dst, Priority: PrioGC}})
+	return cs[0].Meta, cs[0].Done, cs[0].Err
+}
+

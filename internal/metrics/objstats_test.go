@@ -1,0 +1,51 @@
+package metrics
+
+import "testing"
+
+// TestObjectStatsAllSortsByIORate complements the basic ObjectStats test:
+// All() must order objects by reads+writes descending.
+func TestObjectStatsAllSortsByIORate(t *testing.T) {
+	os := NewObjectStats()
+	os.RecordRead("cold", 1)
+	os.RecordRead("hot", 100)
+	os.RecordWrite("warm", 50)
+	all := os.All()
+	if len(all) != 3 {
+		t.Fatalf("got %d objects, want 3", len(all))
+	}
+	if all[0].Name != "hot" || all[1].Name != "warm" || all[2].Name != "cold" {
+		t.Errorf("order: %s, %s, %s; want hot, warm, cold", all[0].Name, all[1].Name, all[2].Name)
+	}
+}
+
+func TestObjectStatsAllTiesBrokenByName(t *testing.T) {
+	os := NewObjectStats()
+	os.RecordRead("b", 5)
+	os.RecordRead("a", 5)
+	all := os.All()
+	if all[0].Name != "a" || all[1].Name != "b" {
+		t.Errorf("tie order: %s, %s; want a, b", all[0].Name, all[1].Name)
+	}
+}
+
+func TestObjectStatsResetKeepsSizeAndAppends(t *testing.T) {
+	os := NewObjectStats()
+	os.Register("IDX", "index", "tsHot")
+	os.RecordAppend("IDX", 3)
+	os.SetSize("IDX", 40)
+	os.Reset()
+	c, ok := os.Get("IDX")
+	if !ok {
+		t.Fatal("registration dropped by Reset")
+	}
+	if c.Appends != 0 {
+		t.Errorf("appends survived Reset: %d", c.Appends)
+	}
+	if c.SizePages != 40 {
+		t.Errorf("size should survive Reset (it is state, not a counter): %d", c.SizePages)
+	}
+	// All() still returns the object after Reset (registrations persist).
+	if len(os.All()) != 1 {
+		t.Errorf("All() lost registered objects after Reset")
+	}
+}

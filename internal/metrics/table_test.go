@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableAlignment complements the basic rendering test: every rendered
+// row must be padded to the same column widths, driven by the widest cell.
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Aligned", "Name", "Count")
+	tbl.AddRow("a", int64(1))
+	tbl.AddRow("much-longer-name", int64(1234567))
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Header and separator are padded to identical widths.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header width %d != separator width %d:\n%s", len(lines[1]), len(lines[2]), out)
+	}
+	if !strings.Contains(lines[2], strings.Repeat("-", len("much-longer-name"))) {
+		t.Errorf("separator not widened to widest cell: %q", lines[2])
+	}
+	if !strings.Contains(out, "1,234,567") {
+		t.Errorf("count cell not formatted:\n%s", out)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tbl := NewTable("", "A")
+	tbl.AddRow("x")
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("empty title produced a leading newline: %q", out)
+	}
+	if lines := strings.Split(strings.TrimRight(out, "\n"), "\n"); len(lines) != 3 {
+		t.Errorf("got %d lines, want 3 (header, separator, row):\n%s", len(lines), out)
+	}
+}
+
+func TestTableIntCellUsesThousandsSeparators(t *testing.T) {
+	tbl := NewTable("", "N")
+	tbl.AddRow(1234567) // plain int, not int64
+	if out := tbl.String(); !strings.Contains(out, "1,234,567") {
+		t.Errorf("int cell not routed through FormatCount:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"noftl/internal/core"
+	"noftl/internal/flash"
+)
+
+func newTestManager(t *testing.T) *core.Manager {
+	t.Helper()
+	dev, err := flash.NewDevice(flash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewManager(dev, core.DefaultOptions())
+}
+
+func TestTablespaceExtentAllocation(t *testing.T) {
+	mgr := newTestManager(t)
+	const extent = 8
+	ts := NewTablespace("tsTest", core.DefaultRegionID, extent, mgr)
+
+	if ts.Name() != "tsTest" {
+		t.Errorf("name = %q", ts.Name())
+	}
+	if ts.Region() != core.DefaultRegionID {
+		t.Errorf("region = %d", ts.Region())
+	}
+	if ts.ExtentPages() != extent {
+		t.Errorf("extent pages = %d, want %d", ts.ExtentPages(), extent)
+	}
+
+	// The first extent's pages are consecutive LPNs.
+	first := ts.AllocatePage()
+	for i := 1; i < extent; i++ {
+		lpn := ts.AllocatePage()
+		if lpn != first+core.LPN(i) {
+			t.Fatalf("page %d of extent = lpn %d, want %d (consecutive)", i, lpn, first+core.LPN(i))
+		}
+	}
+	if ts.Extents() != 1 {
+		t.Errorf("extents = %d, want 1", ts.Extents())
+	}
+	if ts.AllocatedPages() != extent {
+		t.Errorf("allocated pages = %d, want %d", ts.AllocatedPages(), extent)
+	}
+
+	// Page extent+1 opens a second extent.
+	next := ts.AllocatePage()
+	if next < first+core.LPN(extent) {
+		t.Errorf("new extent page lpn %d overlaps first extent", next)
+	}
+	if ts.Extents() != 2 {
+		t.Errorf("extents = %d, want 2", ts.Extents())
+	}
+	if ts.AllocatedPages() != extent+1 {
+		t.Errorf("allocated pages = %d, want %d", ts.AllocatedPages(), extent+1)
+	}
+}
+
+func TestTablespaceDefaultExtentSize(t *testing.T) {
+	mgr := newTestManager(t)
+	ts := NewTablespace("tsDefault", core.DefaultRegionID, 0, mgr)
+	if ts.ExtentPages() != DefaultExtentPages {
+		t.Errorf("extent pages = %d, want default %d", ts.ExtentPages(), DefaultExtentPages)
+	}
+}
+
+func TestTablespaceHintCarriesPlacement(t *testing.T) {
+	mgr := newTestManager(t)
+	ts := NewTablespace("tsHint", core.RegionID(3), 16, mgr)
+	h := ts.Hint(42, flash.FlagIndex)
+	if h.Region != core.RegionID(3) {
+		t.Errorf("hint region = %d, want 3", h.Region)
+	}
+	if h.ObjectID != 42 {
+		t.Errorf("hint object = %d, want 42", h.ObjectID)
+	}
+	if h.Flags != flash.FlagIndex {
+		t.Errorf("hint flags = %#x, want FlagIndex", h.Flags)
+	}
+}
+
+func TestTablespaceDistinctTablespacesDoNotOverlap(t *testing.T) {
+	mgr := newTestManager(t)
+	a := NewTablespace("A", core.DefaultRegionID, 4, mgr)
+	b := NewTablespace("B", core.DefaultRegionID, 4, mgr)
+	seen := make(map[core.LPN]string)
+	for i := 0; i < 12; i++ {
+		la := a.AllocatePage()
+		if owner, dup := seen[la]; dup {
+			t.Fatalf("lpn %d handed to both %s and A", la, owner)
+		}
+		seen[la] = "A"
+		lb := b.AllocatePage()
+		if owner, dup := seen[lb]; dup {
+			t.Fatalf("lpn %d handed to both %s and B", lb, owner)
+		}
+		seen[lb] = "B"
+	}
+}
+
+func TestTablespaceString(t *testing.T) {
+	mgr := newTestManager(t)
+	ts := NewTablespace("tsStr", core.RegionID(2), 16, mgr)
+	s := ts.String()
+	if !strings.Contains(s, "tsStr") || !strings.Contains(s, "16") {
+		t.Errorf("String() = %q: missing name or extent size", s)
+	}
+}

@@ -1,0 +1,145 @@
+package noftl_test
+
+import (
+	"testing"
+
+	"noftl"
+)
+
+// integrationConfig is a small database for the scheduler integration
+// tests: 8 dies, WAL off so that flush timing is purely data-page I/O.
+func integrationConfig() noftl.Config {
+	cfg := noftl.DefaultConfig()
+	cfg.WAL = false
+	cfg.BufferPoolPages = 128
+	return cfg
+}
+
+// loadRows creates table T and inserts n rows of 400 bytes, spanning many
+// heap pages, then returns the table.
+func loadRows(t *testing.T, db *noftl.DB, n int) *noftl.Table {
+	t.Helper()
+	if err := db.Exec("CREATE TABLE T (v VARCHAR(400))"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("T")
+	row := make([]byte, 400)
+	tx := db.Begin()
+	for i := 0; i < n; i++ {
+		row[0] = byte(i)
+		if _, err := tbl.Insert(tx, row); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 499 {
+			if _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			tx = db.Begin()
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestDBSequentialScanReadAhead drives a full table scan through db.go with
+// read-ahead enabled and verifies that the buffer pool prefetched pages in
+// scheduler batches, that most scan accesses hit prefetched frames, and that
+// the scan still returns every row.
+func TestDBSequentialScanReadAhead(t *testing.T) {
+	cfg := integrationConfig()
+	cfg.ReadAheadPages = 8
+	db, err := noftl.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const rows = 1500
+	tbl := loadRows(t, db, rows)
+	pages := tbl.PageCount()
+	if pages <= int64(cfg.BufferPoolPages) {
+		t.Fatalf("test needs more heap pages (%d) than pool frames (%d)", pages, cfg.BufferPoolPages)
+	}
+	// Push everything to flash so the scan re-reads from the device.
+	if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStatistics()
+
+	tx := db.Begin()
+	count := 0
+	if err := tbl.Scan(tx, func(_ noftl.RID, _ []byte) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if count != rows {
+		t.Fatalf("scan returned %d rows, want %d", count, rows)
+	}
+
+	st := db.Stats()
+	if st.Buffer.Prefetches == 0 {
+		t.Error("scan issued no prefetches")
+	}
+	if st.Buffer.PrefetchHits < pages/4 {
+		t.Errorf("prefetch hits = %d, want at least %d (a quarter of %d pages)",
+			st.Buffer.PrefetchHits, pages/4, pages)
+	}
+	if st.Buffer.Misses >= pages/2 {
+		t.Errorf("scan missed %d times over %d pages: read-ahead ineffective", st.Buffer.Misses, pages)
+	}
+	vals := db.SchedulerMetrics().CounterValues()
+	if vals["iosched.requests.host_read"] == 0 {
+		t.Error("scheduler saw no host-read requests")
+	}
+	if vals["iosched.batches"] == 0 {
+		t.Error("scheduler dispatched no batches")
+	}
+}
+
+// TestDBGroupWriteBackFasterThanSerial checkpoints the same workload with
+// and without group write-back and verifies the batched flush completes in
+// less virtual time.
+func TestDBGroupWriteBackFasterThanSerial(t *testing.T) {
+	flushTime := func(disable bool) (noftl.Stats, int64) {
+		cfg := integrationConfig()
+		cfg.BufferPoolPages = 512 // hold the whole working set: no evictions
+		cfg.DisableGroupWriteBack = disable
+		db, err := noftl.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		loadRows(t, db, 700)
+		start := db.SimulatedTime()
+		done, err := db.FlushAll(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db.Stats(), int64(done.Sub(start))
+	}
+
+	serialStats, serialDur := flushTime(true)
+	groupStats, groupDur := flushTime(false)
+
+	if serialStats.Buffer.Writebacks != groupStats.Buffer.Writebacks {
+		t.Fatalf("workloads diverged: %d vs %d writebacks",
+			serialStats.Buffer.Writebacks, groupStats.Buffer.Writebacks)
+	}
+	if groupStats.Buffer.GroupFlushes == 0 {
+		t.Error("group write-back did not run")
+	}
+	if serialStats.Buffer.GroupFlushes != 0 {
+		t.Error("serial configuration used group write-back")
+	}
+	if groupDur >= serialDur/2 {
+		t.Errorf("group flush took %dns vs serial %dns: expected at least 2x faster (die striping)",
+			groupDur, serialDur)
+	}
+}
