@@ -39,7 +39,7 @@ func main() {
 	if *dies < channels {
 		channels = *dies
 	}
-	blocksPerDie := int(float64(*pages)/ *util / float64(*dies*64))
+	blocksPerDie := int(float64(*pages) / *util / float64(*dies*64))
 	if blocksPerDie < 4 {
 		blocksPerDie = 4
 	}

@@ -1,16 +1,21 @@
 // Command noftl-bench regenerates the paper's evaluation artifacts: the
 // Figure 2 placement configuration, the Figure 3 performance comparison, the
-// abstract's headline metrics and the ablation experiments A1–A5.
+// abstract's headline metrics and the ablation experiments A1–A6.
 //
 // Usage:
 //
 //	noftl-bench -experiment figure3 -scale small
 //	noftl-bench -experiment all -scale paper     (the full 64-die run)
-//	noftl-bench -experiment all -json BENCH_small.json
+//	noftl-bench -experiment batch,a6 -json BENCH_small.json
+//	noftl-bench -experiment batch,a6 -json out.json -baseline ci/BENCH_baseline.json
 //
 // With -json the results are additionally written as a machine-readable
 // document ("-" writes JSON to stdout and suppresses the text tables), so
 // successive runs can be diffed and the performance trajectory tracked.
+// With -baseline the run is additionally compared against a previously
+// recorded JSON document and the command exits non-zero when a gated metric
+// (A5 batched speedup, A6 write amplification) regresses by more than
+// -baseline-threshold — the check CI runs on every pull request.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"noftl/internal/experiments"
@@ -33,9 +39,11 @@ type jsonDoc struct {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch or all")
+		"comma-separated experiments to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, a6 or all")
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "compare gated metrics against this baseline JSON and fail on regression")
+	baselineThreshold := flag.Float64("baseline-threshold", 0.10, "relative regression tolerated against -baseline")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -79,13 +87,22 @@ func main() {
 
 	known := map[string]bool{
 		"all": true, "figure2": true, "figure3": true, "headline": true,
-		"parallelism": true, "hotcold": true, "ftl": true, "sweep": true, "batch": true,
+		"parallelism": true, "hotcold": true, "ftl": true, "sweep": true,
+		"batch": true, "a6": true,
 	}
-	if !known[*experiment] {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch or all)\n", *experiment)
-		os.Exit(2)
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*experiment, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, a6 or all)\n", name)
+			os.Exit(2)
+		}
+		selected[name] = true
 	}
-	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	want := func(name string) bool { return selected["all"] || selected[name] }
 
 	if want("figure2") {
 		run("figure2", "Figure 2: Region Advisor placement configuration", func() (interface{}, error) {
@@ -160,6 +177,16 @@ func main() {
 			return res, nil
 		})
 	}
+	if want("a6") {
+		run("a6", "A6: foreground vs background GC under a skewed update workload", func() (interface{}, error) {
+			res, err := experiments.RunAblationBackgroundGC(6000, 30000)
+			if err != nil {
+				return nil, err
+			}
+			say("%s\n", res.String())
+			return res, nil
+		})
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(doc, "", "  ")
@@ -178,4 +205,81 @@ func main() {
 			say("results written to %s\n", *jsonPath)
 		}
 	}
+
+	if *baselinePath != "" {
+		failures, err := compareBaseline(doc, *baselinePath, *baselineThreshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "baseline comparison: %v\n", err)
+			os.Exit(1)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "PERFORMANCE REGRESSION vs %s (threshold %.0f%%):\n", *baselinePath, *baselineThreshold*100)
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(1)
+		}
+		say("baseline check vs %s passed (threshold %.0f%%)\n", *baselinePath, *baselineThreshold*100)
+	}
+}
+
+// baselineDoc mirrors the subset of the -json document the regression gate
+// reads back.  Experiments absent from either side are skipped, so the gate
+// only compares what both runs measured.
+type baselineDoc struct {
+	Experiments struct {
+		Batch *experiments.BatchedIOResult    `json:"batch"`
+		A6    *experiments.BackgroundGCResult `json:"a6"`
+	} `json:"experiments"`
+}
+
+// compareBaseline re-marshals the current results and diffs the gated
+// metrics against the baseline file: the A5 batched-I/O speedups must not
+// drop, and the A6 write amplification (and tail-latency win) must not rise,
+// by more than threshold relative.
+func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, error) {
+	baseRaw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base baselineDoc
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	curRaw, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	var cur baselineDoc
+	if err := json.Unmarshal(curRaw, &cur); err != nil {
+		return nil, err
+	}
+
+	var failures []string
+	// Higher is better: fail when the current value drops below
+	// base*(1-threshold).
+	lowerBound := func(metric string, curV, baseV float64) {
+		if baseV > 0 && curV < baseV*(1-threshold) {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.3f, baseline %.3f (-%.1f%%)", metric, curV, baseV, (1-curV/baseV)*100))
+		}
+	}
+	// Lower is better: fail when the current value rises above
+	// base*(1+threshold).
+	upperBound := func(metric string, curV, baseV float64) {
+		if baseV > 0 && curV > baseV*(1+threshold) {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.3f, baseline %.3f (+%.1f%%)", metric, curV, baseV, (curV/baseV-1)*100))
+		}
+	}
+	if cur.Experiments.Batch != nil && base.Experiments.Batch != nil {
+		lowerBound("A5 batched read speedup", cur.Experiments.Batch.ReadSpeedup, base.Experiments.Batch.ReadSpeedup)
+		lowerBound("A5 batched write speedup", cur.Experiments.Batch.WriteSpeedup, base.Experiments.Batch.WriteSpeedup)
+	}
+	if cur.Experiments.A6 != nil && base.Experiments.A6 != nil {
+		upperBound("A6 write amplification (hot/cold separated)", cur.Experiments.A6.SeparatedWA, base.Experiments.A6.SeparatedWA)
+		upperBound("A6 background p99 write latency",
+			float64(cur.Experiments.A6.BackgroundP99Write), float64(base.Experiments.A6.BackgroundP99Write))
+	}
+	return failures, nil
 }

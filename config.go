@@ -29,8 +29,12 @@ type Config struct {
 	// Flash configures the simulated native flash device (geometry, NAND
 	// timing, endurance).
 	Flash flash.Config
-	// Space configures the NoFTL space manager (placement mode,
-	// over-provisioning, GC thresholds, wear leveling).
+	// Space configures the NoFTL space manager: placement mode,
+	// over-provisioning, the garbage-collection watermark pair
+	// (GCLowWaterBlocks backstop / GCHighWaterBlocks background band), the
+	// default per-region GC policy (victim selection, background step size,
+	// hot/cold separation — overridable per region via CREATE/ALTER REGION),
+	// DisableBackgroundGC, and wear leveling.
 	Space core.Options
 	// BufferPoolPages is the number of page frames in the buffer pool.
 	BufferPoolPages int

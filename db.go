@@ -3,6 +3,7 @@ package noftl
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"noftl/internal/buffer"
@@ -229,13 +230,23 @@ func (db *DB) Exec(sql string) error {
 func (db *DB) execStatement(st ddl.Statement) error {
 	switch s := st.(type) {
 	case ddl.CreateRegion:
-		_, err := db.CreateRegion(core.RegionSpec{
+		spec := core.RegionSpec{
 			Name:         s.Name,
 			MaxChips:     s.MaxChips,
 			MaxChannels:  s.MaxChannels,
 			MaxSizeBytes: s.MaxSizeBytes,
-		})
+		}
+		gc, set, err := applyGCClause(db.space.Options().GC, s.GCPolicy, s.GCStepPages, s.HotCold)
+		if err != nil {
+			return err
+		}
+		if set {
+			spec.GC = &gc
+		}
+		_, err = db.CreateRegion(spec)
 		return err
+	case ddl.AlterRegion:
+		return db.alterRegionGC(s)
 	case ddl.CreateTablespace:
 		extentPages := db.cfg.ExtentPages
 		if s.ExtentSizeBytes > 0 {
@@ -280,11 +291,70 @@ func (db *DB) execDrop(s ddl.DropStatement) error {
 	}
 }
 
+// applyGCClause folds a DDL GC clause (CREATE/ALTER REGION options) into a
+// base policy, reporting whether any option was actually set.
+func applyGCClause(base core.GCPolicy, policy string, stepPages int, hotCold string) (core.GCPolicy, bool, error) {
+	set := false
+	if policy != "" {
+		v, err := core.ParseVictimPolicy(policy)
+		if err != nil {
+			return base, false, err
+		}
+		base.Victim = v
+		set = true
+	}
+	if stepPages > 0 {
+		base.StepPages = stepPages
+		set = true
+	}
+	switch strings.ToUpper(hotCold) {
+	case "":
+	case "ON":
+		base.DisableHotCold = false
+		set = true
+	case "OFF":
+		base.DisableHotCold = true
+		set = true
+	default:
+		return base, false, fmt.Errorf("noftl: HOT_COLD must be ON or OFF, got %q", hotCold)
+	}
+	return base, set, nil
+}
+
+// alterRegionGC executes ALTER REGION … SET: the space manager switches the
+// live policy and the catalog records it.
+func (db *DB) alterRegionGC(s ddl.AlterRegion) error {
+	cur, ok := db.space.GCPolicyOf(s.Name)
+	if !ok {
+		return fmt.Errorf("%w: region %q", ErrNotFound, s.Name)
+	}
+	gc, set, err := applyGCClause(cur, s.GCPolicy, s.GCStepPages, s.HotCold)
+	if err != nil {
+		return err
+	}
+	if !set {
+		return nil
+	}
+	if err := db.space.SetGCPolicy(s.Name, gc); err != nil {
+		return err
+	}
+	if s.Name == core.DefaultRegionName {
+		// The default region has no catalog entry; the live policy is all
+		// there is to update.
+		return nil
+	}
+	return db.cat.UpdateRegionGC(s.Name, gc)
+}
+
 // CreateRegion creates a NoFTL region (programmatic form of CREATE REGION).
 func (db *DB) CreateRegion(spec core.RegionSpec) (*core.Region, error) {
 	r, err := db.space.CreateRegion(spec)
 	if err != nil {
 		return nil, err
+	}
+	gc := db.space.Options().GC
+	if spec.GC != nil {
+		gc = *spec.GC
 	}
 	err = db.cat.AddRegion(catalog.Region{
 		Name:         spec.Name,
@@ -292,6 +362,7 @@ func (db *DB) CreateRegion(spec core.RegionSpec) (*core.Region, error) {
 		MaxChips:     spec.MaxChips,
 		MaxChannels:  spec.MaxChannels,
 		MaxSizeBytes: spec.MaxSizeBytes,
+		GC:           gc,
 	})
 	if err != nil {
 		_ = db.space.DropRegion(spec.Name)

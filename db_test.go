@@ -393,3 +393,50 @@ func TestResetStatistics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExecRegionGCPolicyDDL(t *testing.T) {
+	db, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	err = db.Exec(`CREATE REGION rgHot (MAX_CHIPS=2, GC_POLICY=COST_BENEFIT, GC_STEP_PAGES=4, HOT_COLD=OFF);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, ok := db.SpaceManager().GCPolicyOf("rgHot")
+	if !ok || gc.Victim != core.VictimCostBenefit || gc.StepPages != 4 || !gc.DisableHotCold {
+		t.Fatalf("CREATE REGION GC clause not applied: %+v", gc)
+	}
+	cr, ok := db.Catalog().Region("rgHot")
+	if !ok || cr.GC.Victim != core.VictimCostBenefit {
+		t.Fatalf("catalog missed the GC clause: %+v", cr.GC)
+	}
+	// Reconfigure online.
+	if err := db.Exec(`ALTER REGION rgHot SET GC_POLICY=GREEDY, HOT_COLD=ON;`); err != nil {
+		t.Fatal(err)
+	}
+	gc, _ = db.SpaceManager().GCPolicyOf("rgHot")
+	if gc.Victim != core.VictimGreedy || gc.DisableHotCold || gc.StepPages != 4 {
+		t.Fatalf("ALTER REGION not applied (StepPages must survive): %+v", gc)
+	}
+	cr, _ = db.Catalog().Region("rgHot")
+	if cr.GC.Victim != core.VictimGreedy {
+		t.Fatalf("catalog not updated: %+v", cr.GC)
+	}
+	// The default region can be tuned too (no catalog entry to update).
+	if err := db.Exec(`ALTER REGION DEFAULT SET GC_STEP_PAGES=2;`); err != nil {
+		t.Fatal(err)
+	}
+	gc, _ = db.SpaceManager().GCPolicyOf(core.DefaultRegionName)
+	if gc.StepPages != 2 {
+		t.Fatalf("default region not altered: %+v", gc)
+	}
+	// Unknown region and bad policy fail.
+	if err := db.Exec(`ALTER REGION nope SET GC_POLICY=GREEDY;`); err == nil {
+		t.Fatal("ALTER of unknown region should fail")
+	}
+	if err := db.Exec(`CREATE REGION r2 (MAX_CHIPS=1, GC_POLICY=LRU);`); err == nil {
+		t.Fatal("unknown GC policy should fail")
+	}
+}

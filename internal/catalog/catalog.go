@@ -37,6 +37,10 @@ type Region struct {
 	MaxChips     int
 	MaxChannels  int
 	MaxSizeBytes int64
+	// GC is the region's garbage-collection policy (victim selection,
+	// background step size, hot/cold separation), settable per region via
+	// CREATE REGION and ALTER REGION.
+	GC core.GCPolicy
 }
 
 // Tablespace is the catalog entry of a tablespace.
@@ -115,6 +119,19 @@ func (c *Catalog) Region(name string) (Region, bool) {
 		return Region{}, false
 	}
 	return *r, true
+}
+
+// UpdateRegionGC replaces the stored garbage-collection policy of a region
+// (the catalog side of ALTER REGION … SET GC_POLICY=…).
+func (c *Catalog) UpdateRegionGC(name string, gc core.GCPolicy) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[name]
+	if !ok {
+		return fmt.Errorf("%w: region %q", ErrNotFound, name)
+	}
+	r.GC = gc
+	return nil
 }
 
 // DropRegion removes a region that no tablespace references.

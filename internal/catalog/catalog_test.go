@@ -3,6 +3,8 @@ package catalog
 import (
 	"errors"
 	"testing"
+
+	"noftl/internal/core"
 )
 
 func TestCatalogRegionsAndTablespaces(t *testing.T) {
@@ -107,5 +109,28 @@ func TestCatalogTablesAndIndexes(t *testing.T) {
 	}
 	if _, ok := c.Index("I_T"); ok {
 		t.Fatal("index survived table drop")
+	}
+}
+
+func TestRegionGCPolicyRoundTrip(t *testing.T) {
+	c := New()
+	gc := core.GCPolicy{Victim: core.VictimCostBenefit, StepPages: 4}
+	if err := c.AddRegion(Region{Name: "rgHot", ID: 1, MaxChips: 2, GC: gc}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := c.Region("rgHot")
+	if !ok || r.GC.Victim != core.VictimCostBenefit || r.GC.StepPages != 4 {
+		t.Fatalf("policy not stored: %+v", r.GC)
+	}
+	upd := core.GCPolicy{Victim: core.VictimGreedy, StepPages: 8, DisableHotCold: true}
+	if err := c.UpdateRegionGC("rgHot", upd); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = c.Region("rgHot")
+	if r.GC.Victim != core.VictimGreedy || !r.GC.DisableHotCold {
+		t.Fatalf("policy not updated: %+v", r.GC)
+	}
+	if err := c.UpdateRegionGC("nope", upd); err == nil {
+		t.Fatal("UpdateRegionGC on unknown region should fail")
 	}
 }

@@ -197,6 +197,7 @@ func (m *Manager) WritePages(now sim.Time, writes []PageWrite) (sim.Time, error)
 		blk := &p.da.blocks[p.slot.block]
 		if c.Err != nil {
 			blk.nextPage--
+			m.retireIfBad(p.da, p.slot.block)
 			if firstErr == nil {
 				firstErr = c.Err
 			}
@@ -205,6 +206,7 @@ func (m *Manager) WritePages(now sim.Time, writes []PageWrite) (sim.Time, error)
 		blk.lpns[p.slot.page] = w.LPN
 		blk.valid[p.slot.page] = true
 		blk.validCount++
+		blk.lastWrite = m.seq
 		if blk.nextPage >= m.geo.PagesPerBlock {
 			blk.state = blkClosed
 			if p.da.hostOpen == p.slot.block {
@@ -229,6 +231,16 @@ func (m *Manager) WritePages(now sim.Time, writes []PageWrite) (sim.Time, error)
 	}
 	if end < now {
 		end = now
+	}
+	// Opportunistic background GC on each die the batch touched, after the
+	// batch makespan has been determined so step costs stay out of it.
+	pumped := make(map[int]bool, len(pends))
+	for _, p := range pends {
+		if pumped[p.da.die] {
+			continue
+		}
+		pumped[p.da.die] = true
+		m.backgroundGCLocked(end, p.da)
 	}
 	return end, firstErr
 }

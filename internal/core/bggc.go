@@ -1,0 +1,199 @@
+// Background, incremental garbage collection.
+//
+// The paper's argument (§2) is that once space management lives in the DBMS,
+// garbage collection no longer has to fire blindly under the host's feet: it
+// can be scheduled around the workload.  This file implements that as a
+// watermark pair per die:
+//
+//   - at or below GCHighWaterBlocks free blocks, GC proceeds opportunistically
+//     in bounded steps (pick victim → relocate ≤k pages → erase) that are
+//     submitted through the I/O scheduler at GC priority in the die's idle
+//     virtual-time slots, and whose cost is NOT charged to the host write
+//     that triggered them;
+//   - at or below GCLowWaterBlocks the foreground backstop (collectDie) still
+//     blocks the allocation until the die is healthy again — correctness
+//     never depends on background progress.
+//
+// The step size and victim policy come from the owning region's GCPolicy, so
+// a DBA can tune them per data region via CREATE/ALTER REGION.
+package core
+
+import (
+	"fmt"
+
+	"noftl/internal/sim"
+)
+
+// backgroundGCLocked runs at most one bounded background GC step on the die
+// when its free-block count is at or below the high watermark.  Called at the
+// end of host write paths; the step's virtual-time cost is absorbed by the
+// die's idle slots rather than the caller's latency.  Caller holds m.mu.
+func (m *Manager) backgroundGCLocked(now sim.Time, da *dieAlloc) {
+	if m.opts.DisableBackgroundGC {
+		return
+	}
+	if da.freeCount() > m.opts.GCHighWaterBlocks {
+		return
+	}
+	if m.sched.DieIdleAt(da.die) > now {
+		// The die still has work scheduled beyond this point in virtual
+		// time: its next slot is not idle.  Stacking a step now would queue
+		// GC in front of future host requests; skip and let a later write
+		// (or the low-watermark backstop) drive progress instead.
+		return
+	}
+	if da.bgVictim < 0 && da.freeCount() > m.opts.GCLowWaterBlocks {
+		// No victim in progress and the die has not reached the level at
+		// which a foreground collection would fire.  Starting one now would
+		// collect blocks earlier — and therefore with more still-valid
+		// pages — than the foreground policy, inflating write amplification.
+		// The watermark band above the low mark is for draining in-progress
+		// debt (and explicit PumpBackgroundGC calls), not for taking debt
+		// on early.
+		return
+	}
+	r, ok := m.regionsByID[m.dieOwner[da.die]]
+	if !ok {
+		return
+	}
+	m.backgroundStepLocked(now, r, da)
+}
+
+// backgroundStepLocked performs one bounded GC step on the die: resume (or
+// pick) a victim, relocate at most the region's StepPages valid pages, and
+// erase the victim once it is fully relocated.  The step starts no earlier
+// than the die's idle time, so already-dispatched host work is never delayed
+// by it.  It returns the step's virtual completion time and whether the step
+// made actual progress (pages relocated or a block erased) — a step that
+// could do nothing is not counted, so PumpBackgroundGC drain loops
+// terminate.  Caller holds m.mu.
+func (m *Manager) backgroundStepLocked(now sim.Time, r *Region, da *dieAlloc) (sim.Time, bool) {
+	pol := r.gc
+	if da.bgVictim >= 0 && da.blocks[da.bgVictim].state != blkClosed {
+		// The victim was finished (or reopened) by a foreground collection
+		// in the meantime; start over.
+		da.bgVictim = -1
+	}
+	if da.bgVictim < 0 {
+		v := m.pickVictim(da, pol)
+		if v >= 0 && float64(da.blocks[v].validCount) > m.bgMaxValid(da.freeCount()) {
+			// Even the best victim is too valid to be worth collecting in
+			// the background: relocating it now would copy data that is yet
+			// to be invalidated, inflating write amplification.  Leave it to
+			// accumulate garbage; if the die really runs dry first, the
+			// foreground backstop collects it with the same lateness the
+			// pre-background design had.
+			v = -1
+		}
+		if v < 0 {
+			// Nothing (worth) reclaiming: use the idle slot for wear leveling.
+			if m.opts.WearLevelDelta > 0 {
+				m.maybeWearLevel(sim.MaxTime(now, m.sched.DieIdleAt(da.die)), r, da)
+			}
+			return now, false
+		}
+		da.bgVictim = v
+		r.gcRuns++
+	}
+	start := sim.MaxTime(now, m.sched.DieIdleAt(da.die))
+	copybacks, erases := r.gcCopybacks, r.gcErases
+	end := m.relocateAndErase(start, r, da, da.bgVictim, pol.withDefaults().StepPages, pol)
+	switch {
+	case da.blocks[da.bgVictim].state == blkFree:
+		// Victim fully relocated and erased: the step cycle is complete.
+		da.bgVictim = -1
+		if m.opts.WearLevelDelta > 0 {
+			end = m.maybeWearLevel(end, r, da)
+		}
+	case da.blocks[da.bgVictim].state == blkRetired:
+		// The erase failed; the block left circulation for good.
+		da.bgVictim = -1
+	}
+	if r.gcCopybacks == copybacks && r.gcErases == erases {
+		// Nothing moved and nothing erased (no destination slots): not a
+		// step.  Keep the victim for later, but report no progress so
+		// callers draining in a loop do not spin.
+		return now, false
+	}
+	r.bgSteps++
+	m.sched.ObserveGCStep(end.Sub(start))
+	return end, true
+}
+
+// bgMaxValid returns the most valid pages a block may hold and still qualify
+// as a background victim, given the die's current free-block count: well
+// above the low watermark (explicit PumpBackgroundGC calls during idle
+// periods) only nearly-empty blocks — ≤ ¼ valid — are collected, and the bar
+// relaxes linearly to "whatever greedy picks" as free blocks run down to the
+// low watermark, where the foreground backstop would collect the same block
+// anyway.  Collecting lazily when there is slack is what keeps background
+// write amplification close to the foreground backstop's, which by
+// construction collects as late as possible.
+func (m *Manager) bgMaxValid(free int) float64 {
+	span := m.opts.GCHighWaterBlocks - m.opts.GCLowWaterBlocks
+	urgency := 1.0
+	if span > 0 {
+		urgency = float64(m.opts.GCHighWaterBlocks-free) / float64(span)
+	}
+	if urgency < 0 {
+		urgency = 0
+	}
+	if urgency > 1 {
+		urgency = 1
+	}
+	return (0.25 + 0.75*urgency) * float64(m.geo.PagesPerBlock)
+}
+
+// PumpBackgroundGC runs at most one background GC step on every die whose
+// free-block count is at or below the high watermark and returns the number
+// of steps performed.  Callers with knowledge of idle periods (a checkpoint
+// just finished, the workload paused) use it to drain GC debt ahead of the
+// next burst; tests and experiments use it to drive background GC
+// deterministically.
+func (m *Manager) PumpBackgroundGC(now sim.Time) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.opts.DisableBackgroundGC {
+		return 0
+	}
+	steps := 0
+	for _, da := range m.dies {
+		if da.freeCount() > m.opts.GCHighWaterBlocks {
+			continue
+		}
+		r, ok := m.regionsByID[m.dieOwner[da.die]]
+		if !ok {
+			continue
+		}
+		if _, did := m.backgroundStepLocked(now, r, da); did {
+			steps++
+		}
+	}
+	return steps
+}
+
+// SetGCPolicy replaces the named region's garbage-collection policy.  It
+// takes effect immediately: the next step of an in-flight background victim
+// already uses the new step bound and hot/cold routing, and the next victim
+// selection uses the new policy.
+func (m *Manager) SetGCPolicy(name string, p GCPolicy) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRegion, name)
+	}
+	r.gc = p.withDefaults()
+	return nil
+}
+
+// GCPolicyOf returns the named region's current garbage-collection policy.
+func (m *Manager) GCPolicyOf(name string) (GCPolicy, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regions[name]
+	if !ok {
+		return GCPolicy{}, false
+	}
+	return r.gc, true
+}

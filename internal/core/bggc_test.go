@@ -1,0 +1,446 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"noftl/internal/flash"
+	"noftl/internal/sim"
+)
+
+// TestBackgroundGCAvoidsForegroundStalls is the tentpole behaviour: with the
+// watermark pair, almost all collection work happens in bounded background
+// steps and host writes almost never block on a foreground collection.
+func TestBackgroundGCAvoidsForegroundStalls(t *testing.T) {
+	run := func(disable bool) Stats {
+		dev := smallDevice(t, 2, 16, 8)
+		opts := DefaultOptions()
+		opts.OverprovisionPct = 0.25
+		opts.DisableBackgroundGC = disable
+		m := NewManager(dev, opts)
+		overwriteWorkload(t, m, dev, 100, 8, Hint{})
+		if err := m.VerifyIntegrity(); err != nil {
+			t.Fatalf("disable=%v: integrity violated: %v", disable, err)
+		}
+		return m.Stats()
+	}
+	fg := run(true)
+	bg := run(false)
+	if fg.GCStalls == 0 {
+		t.Fatal("foreground-only run never stalled; workload too small to compare")
+	}
+	if bg.BGGCSteps == 0 {
+		t.Fatal("background GC never ran a step")
+	}
+	if fg.BGGCSteps != 0 {
+		t.Fatalf("foreground-only run performed %d background steps", fg.BGGCSteps)
+	}
+	if bg.GCStalls*4 > fg.GCStalls {
+		t.Fatalf("background GC should eliminate most watermark stalls: %d vs %d foreground",
+			bg.GCStalls, fg.GCStalls)
+	}
+	// Same logical work: same number of host writes and valid pages.
+	if bg.HostWrites != fg.HostWrites || bg.ValidPages != fg.ValidPages {
+		t.Fatalf("runs diverged: bg %d/%d, fg %d/%d writes/valid",
+			bg.HostWrites, bg.ValidPages, fg.HostWrites, fg.ValidPages)
+	}
+}
+
+// TestBackgroundGCStepsAreBounded checks the incremental contract: a single
+// background step relocates at most the policy's StepPages pages.
+func TestBackgroundGCStepsAreBounded(t *testing.T) {
+	dev := smallDevice(t, 1, 16, 8)
+	opts := DefaultOptions()
+	opts.OverprovisionPct = 0.3
+	opts.GC.StepPages = 2
+	opts.WearLevelDelta = 0 // isolate GC copybacks from leveling moves
+	m := NewManager(dev, opts)
+	now := overwriteWorkload(t, m, dev, 20, 12, Hint{})
+	// Drain the remaining debt one pump at a time: each pump performs at
+	// most one step per die, and each step may relocate at most StepPages
+	// pages.
+	pumped := false
+	for i := 0; i < 200; i++ {
+		before := m.Stats().GCCopybacks
+		n := m.PumpBackgroundGC(now)
+		if n == 0 {
+			break
+		}
+		pumped = true
+		delta := m.Stats().GCCopybacks - before
+		if delta > int64(n*2) {
+			t.Fatalf("pump of %d steps relocated %d pages, want ≤ %d", n, delta, n*2)
+		}
+	}
+	if !pumped {
+		t.Fatal("no background steps ran")
+	}
+}
+
+func TestPumpBackgroundGCDrainsDebt(t *testing.T) {
+	dev := smallDevice(t, 2, 16, 8)
+	opts := DefaultOptions()
+	opts.OverprovisionPct = 0.25
+	m := NewManager(dev, opts)
+	now := overwriteWorkload(t, m, dev, 100, 6, Hint{})
+
+	free := func() int {
+		total := 0
+		for _, r := range m.Stats().Regions {
+			total += r.FreeBlocks
+		}
+		return total
+	}
+	before := free()
+	steps := 0
+	for i := 0; i < 1000; i++ {
+		n := m.PumpBackgroundGC(now)
+		if n == 0 {
+			break
+		}
+		steps += n
+	}
+	if steps == 0 {
+		t.Fatal("pump found no GC debt after a heavy overwrite workload")
+	}
+	if free() <= before {
+		t.Fatalf("pumping reclaimed nothing: %d -> %d free blocks", before, free())
+	}
+	// Once the pump returns 0, every die is above the high watermark.
+	for _, da := range m.dies {
+		if da.freeCount() <= m.opts.GCHighWaterBlocks {
+			t.Fatalf("die %d still at %d free blocks (high watermark %d)",
+				da.die, da.freeCount(), m.opts.GCHighWaterBlocks)
+		}
+	}
+	if err := m.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PumpBackgroundGC(now) != 0 {
+		t.Fatal("idle pump still performed steps")
+	}
+}
+
+func TestPumpDisabledBackgroundGC(t *testing.T) {
+	dev := smallDevice(t, 1, 12, 4)
+	opts := DefaultOptions()
+	opts.DisableBackgroundGC = true
+	m := NewManager(dev, opts)
+	overwriteWorkload(t, m, dev, 16, 6, Hint{})
+	if n := m.PumpBackgroundGC(0); n != 0 {
+		t.Fatalf("disabled background GC still pumped %d steps", n)
+	}
+	if st := m.Stats(); st.BGGCSteps != 0 {
+		t.Fatalf("disabled background GC ran %d steps", st.BGGCSteps)
+	}
+}
+
+func TestSetGCPolicyPerRegion(t *testing.T) {
+	dev := smallDevice(t, 4, 16, 8)
+	m := NewManager(dev, DefaultOptions())
+	cb := GCPolicy{Victim: VictimCostBenefit, StepPages: 4, DisableHotCold: true}
+	hot, err := m.CreateRegion(RegionSpec{Name: "rgHot", MaxChips: 1, GC: &cb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hot
+	got, ok := m.GCPolicyOf("rgHot")
+	if !ok || got.Victim != VictimCostBenefit || got.StepPages != 4 || !got.DisableHotCold {
+		t.Fatalf("region policy not applied: %+v", got)
+	}
+	// The default region keeps the manager-wide default.
+	def, _ := m.GCPolicyOf(DefaultRegionName)
+	if def.Victim != VictimGreedy || def.DisableHotCold {
+		t.Fatalf("default region policy wrong: %+v", def)
+	}
+	// ALTER-style update.
+	if err := m.SetGCPolicy("rgHot", GCPolicy{Victim: VictimGreedy}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = m.GCPolicyOf("rgHot")
+	if got.Victim != VictimGreedy || got.StepPages != 8 {
+		t.Fatalf("policy update not applied (or defaults not filled): %+v", got)
+	}
+	if err := m.SetGCPolicy("nope", GCPolicy{}); err == nil {
+		t.Fatal("SetGCPolicy on unknown region should fail")
+	}
+	// Stats surface the policy.
+	st := m.Stats()
+	hs, _ := st.RegionByName("rgHot")
+	if hs.GC.Victim != VictimGreedy {
+		t.Fatalf("stats policy wrong: %+v", hs.GC)
+	}
+}
+
+// TestCostBenefitPrefersOldInvalidBlocks unit-tests the victim scorer: among
+// equally invalid blocks the older one wins, and a slightly-more-valid but
+// much older block beats a fresh one.
+func TestCostBenefitPrefersOldInvalidBlocks(t *testing.T) {
+	dev := smallDevice(t, 1, 16, 8)
+	m := NewManager(dev, DefaultOptions())
+	da := m.dies[0]
+	m.seq = 1000
+
+	mk := func(idx, valid int, lastWrite uint64) {
+		da.blocks[idx].state = blkClosed
+		da.blocks[idx].validCount = valid
+		da.blocks[idx].lastWrite = lastWrite
+	}
+	mk(3, 2, 990) // recent, 2 valid
+	mk(5, 2, 100) // old, 2 valid  -> should win over 3
+	if got := m.pickVictimCostBenefit(da); got != 5 {
+		t.Fatalf("picked block %d, want the older block 5", got)
+	}
+	mk(5, 0, 100) // stale bookkeeping reset
+	da.blocks[5].state = blkFree
+	mk(6, 3, 10)  // very old, 3 valid
+	mk(7, 1, 995) // brand new, 1 valid
+	if got := m.pickVictimCostBenefit(da); got != 6 {
+		t.Fatalf("picked block %d, want the much older block 6", got)
+	}
+	// Greedy disagrees: it takes the lowest-valid block regardless of age.
+	if got := m.pickVictimGreedy(da); got != 7 {
+		t.Fatalf("greedy picked block %d, want lowest-valid block 7", got)
+	}
+}
+
+// TestHotColdSeparationPolicyReducesWA runs the same single-region workload
+// — cold inserts interleaved with hot overwrites, the way a DBMS flush
+// stream mixes objects — with and without hot/cold separation.  With
+// separation, GC packs relocated cold survivors into dedicated blocks that
+// are never collected again; with mixing they land back among fresh hot
+// writes and are relocated over and over, costing write amplification.
+func TestHotColdSeparationPolicyReducesWA(t *testing.T) {
+	run := func(disableHotCold bool) Stats {
+		dev := smallDevice(t, 2, 20, 16)
+		opts := DefaultOptions()
+		opts.OverprovisionPct = 0.15
+		opts.GC.DisableHotCold = disableHotCold
+		m := NewManager(dev, opts)
+		const (
+			rounds       = 40
+			coldPerRound = 10
+			hotPages     = 48
+		)
+		coldStart := m.AllocateLPNs(rounds * coldPerRound)
+		hotStart := m.AllocateLPNs(hotPages)
+		now := sim.Time(0)
+		coldWritten := 0
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < coldPerRound; i++ {
+				done, err := m.WritePage(now, coldStart+LPN(coldWritten), fillPage(dev, 1), Hint{})
+				if err != nil {
+					t.Fatalf("cold write %d: %v", coldWritten, err)
+				}
+				coldWritten++
+				now = done
+			}
+			for o := 0; o < 3; o++ {
+				for i := 0; i < hotPages; i++ {
+					done, err := m.WritePage(now, hotStart+LPN(i), fillPage(dev, byte(r)), Hint{})
+					if err != nil {
+						t.Fatalf("hot write: %v", err)
+					}
+					now = done
+				}
+			}
+		}
+		if err := m.VerifyIntegrity(); err != nil {
+			t.Fatalf("disableHotCold=%v: %v", disableHotCold, err)
+		}
+		return m.Stats()
+	}
+	sep := run(false)
+	mixed := run(true)
+	if mixed.GCCopybacks == 0 {
+		t.Fatal("mixed run produced no copybacks; workload too small")
+	}
+	if sep.WriteAmplification() >= mixed.WriteAmplification() {
+		t.Fatalf("hot/cold separation should reduce WA: %.3f (separated) vs %.3f (mixed)",
+			sep.WriteAmplification(), mixed.WriteAmplification())
+	}
+}
+
+// TestWearLevelBoundsOverflow is the regression test for the erase-count
+// comparison fix: with counters saturated near math.MaxInt64 the old
+// minE + WearLevelDelta/2 arithmetic overflowed int64 and wear leveling
+// silently skipped the coldest block.
+func TestWearLevelBoundsOverflow(t *testing.T) {
+	dev := smallDevice(t, 1, 16, 8)
+	opts := DefaultOptions()
+	opts.WearLevelDelta = 64
+	m := NewManager(dev, opts)
+	// Close one block naturally so it is a legitimate leveling candidate.
+	start := m.AllocateLPNs(8)
+	now := sim.Time(0)
+	for i := 0; i < 8; i++ {
+		done, err := m.WritePage(now, start+LPN(i), fillPage(dev, 9), Hint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	m.mu.Lock()
+	da := m.dies[0]
+	cold := -1
+	for i := range da.blocks {
+		if da.blocks[i].state == blkClosed {
+			cold = i
+			da.blocks[i].eraseCount = math.MaxInt64 - 200 // least worn
+		} else {
+			da.blocks[i].eraseCount = math.MaxInt64 - 50 // spread 150 > delta 64
+		}
+	}
+	if cold < 0 {
+		m.mu.Unlock()
+		t.Fatal("no closed block to level")
+	}
+	r := m.regionsByID[DefaultRegionID]
+	moves := r.wlMoves
+	m.maybeWearLevel(now, r, da)
+	leveled := r.wlMoves > moves
+	ec := da.blocks[cold].eraseCount
+	m.mu.Unlock()
+
+	if !leveled {
+		t.Fatal("wear leveling skipped the coldest block (overflow-compare regression)")
+	}
+	// The erased block's counter saturates instead of wrapping negative.
+	if ec < 0 {
+		t.Fatalf("erase counter wrapped negative: %d", ec)
+	}
+	// Data survived the forced relocation.
+	for i := 0; i < 8; i++ {
+		got, _, err := m.ReadPage(now, start+LPN(i), nil)
+		if err != nil || got[0] != 9 {
+			t.Fatalf("page %d lost after wear leveling: %v", i, err)
+		}
+	}
+	if err := m.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBatchedWritesWithBackgroundGC drives batched writes from
+// several goroutines while background GC steps run, then cross-checks every
+// internal invariant.  Run with -race this also proves the locking is sound.
+func TestConcurrentBatchedWritesWithBackgroundGC(t *testing.T) {
+	dev := smallDevice(t, 4, 16, 8)
+	opts := DefaultOptions()
+	opts.OverprovisionPct = 0.25
+	m := NewManager(dev, opts)
+	const (
+		workers  = 4
+		perRange = 48
+		rounds   = 6
+		batch    = 8
+	)
+	starts := make([]LPN, workers)
+	for w := range starts {
+		starts[w] = m.AllocateLPNs(perRange)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			now := sim.Time(0)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < perRange; i += batch {
+					writes := make([]PageWrite, 0, batch)
+					for j := i; j < i+batch && j < perRange; j++ {
+						writes = append(writes, PageWrite{
+							LPN:  starts[w] + LPN(j),
+							Data: fillPage(dev, byte(w*10+r)),
+						})
+					}
+					done, err := m.WritePages(now, writes)
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					now = done
+				}
+				m.PumpBackgroundGC(now)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := m.VerifyIntegrity(); err != nil {
+		t.Fatalf("integrity violated after concurrent batched writes: %v", err)
+	}
+	st := m.Stats()
+	if st.ValidPages != workers*perRange {
+		t.Fatalf("valid pages = %d, want %d", st.ValidPages, workers*perRange)
+	}
+	// Every page reads back its worker's final round.
+	for w := 0; w < workers; w++ {
+		lpns := make([]LPN, perRange)
+		for i := range lpns {
+			lpns[i] = starts[w] + LPN(i)
+		}
+		reads, _ := m.ReadPages(0, lpns, nil)
+		for i, rd := range reads {
+			if rd.Err != nil {
+				t.Fatalf("worker %d page %d: %v", w, i, rd.Err)
+			}
+			if rd.Data[0] != byte(w*10+rounds-1) {
+				t.Fatalf("worker %d page %d holds stale data", w, i)
+			}
+		}
+	}
+}
+
+// TestWornOutBlocksAreRetiredNotRepicked wears the device out on purpose:
+// once a block's erase fails it must leave circulation (blkRetired) instead
+// of staying closed with zero valid pages, where every victim policy would
+// re-pick it forever and wedge the collection loop.  Before the fix this
+// test hung.
+func TestWornOutBlocksAreRetiredNotRepicked(t *testing.T) {
+	cfg := flash.DefaultConfig()
+	cfg.Geometry = flash.Geometry{
+		Channels: 1, DiesPerChannel: 1, PlanesPerDie: 1,
+		BlocksPerDie: 16, PagesPerBlock: 8, PageSize: 512,
+	}
+	cfg.EraseEndurance = 2
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.OverprovisionPct = 0.3
+	opts.WearLevelDelta = 0
+	m := NewManager(dev, opts)
+	start := m.AllocateLPNs(16)
+	now := sim.Time(0)
+	var fails int
+	for r := 0; r < 100; r++ {
+		for i := 0; i < 16; i++ {
+			done, err := m.WritePage(now, start+LPN(i), fillPage(dev, byte(r)), Hint{})
+			if err != nil {
+				fails++
+				continue
+			}
+			now = done
+		}
+	}
+	m.mu.Lock()
+	retired := 0
+	for i := range m.dies[0].blocks {
+		if m.dies[0].blocks[i].state == blkRetired {
+			retired++
+		}
+	}
+	m.mu.Unlock()
+	if retired == 0 {
+		t.Fatal("endurance workload retired no blocks; sizing is off")
+	}
+	if err := m.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("retired %d blocks, %d failed writes", retired, fails)
+}

@@ -1,38 +1,147 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
 	"noftl/internal/flash"
 	"noftl/internal/iosched"
 	"noftl/internal/sim"
 )
 
-// collectDie runs garbage collection on one die until the die's free-block
-// count is above the low-water mark or no further space can be reclaimed.
-// The work (copybacks and erases) is issued against the flash device in the
-// caller's virtual time, so a foreground write that triggers GC pays for it —
-// this is the GC interference that the paper's multi-region placement
-// reduces.  Caller holds m.mu.
+// ErrUnknownPolicy reports an unrecognized victim-policy spelling.
+var ErrUnknownPolicy = errors.New("core: unknown GC victim policy")
+
+// VictimPolicy selects how a garbage-collection victim block is chosen
+// within a die.
+type VictimPolicy uint8
+
+const (
+	// VictimGreedy picks the closed block with the fewest valid pages: the
+	// cheapest block to clean right now.  Best for uniform workloads.
+	VictimGreedy VictimPolicy = iota
+	// VictimCostBenefit weighs reclaimable space against relocation cost and
+	// block age (classic cost-benefit: age * (1-u) / 2u).  Old, mostly
+	// invalid blocks win over recently written ones, which avoids relocating
+	// hot pages that are about to be invalidated anyway — better for skewed
+	// update workloads.
+	VictimCostBenefit
+)
+
+// String returns the lower-case name used in stats and metrics.
+func (v VictimPolicy) String() string {
+	switch v {
+	case VictimGreedy:
+		return "greedy"
+	case VictimCostBenefit:
+		return "cost_benefit"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseVictimPolicy parses the DDL spelling of a victim policy
+// (case-insensitive: GREEDY, COST_BENEFIT or COSTBENEFIT).
+func ParseVictimPolicy(s string) (VictimPolicy, error) {
+	switch strings.ToUpper(s) {
+	case "GREEDY":
+		return VictimGreedy, nil
+	case "COST_BENEFIT", "COSTBENEFIT", "COST-BENEFIT":
+		return VictimCostBenefit, nil
+	default:
+		return VictimGreedy, fmt.Errorf("%w: %q", ErrUnknownPolicy, s)
+	}
+}
+
+// GCPolicy is the per-region garbage-collection configuration.  The paper's
+// point is exactly that these knobs belong to the DBMS, per data region,
+// instead of being hard-wired inside an FTL: a region holding an append-only
+// log wants different victim selection than one holding a hot index.
+type GCPolicy struct {
+	// Victim selects the victim-block policy.
+	Victim VictimPolicy
+	// StepPages bounds how many valid pages one background GC step relocates
+	// (the "≤k pages" increment).  Zero means the default of 8.  Foreground
+	// (low-watermark backstop) collections are never bounded.
+	StepPages int
+	// DisableHotCold turns off hot/cold separation: relocated pages then
+	// share the die's host-write active block instead of a dedicated GC
+	// block.  Mixing cold survivors with fresh hot writes raises write
+	// amplification under skewed workloads, so separation defaults to on.
+	DisableHotCold bool
+}
+
+// DefaultGCPolicy returns the default policy: greedy victim selection,
+// 8-page background steps, hot/cold separation on.
+func DefaultGCPolicy() GCPolicy {
+	return GCPolicy{Victim: VictimGreedy, StepPages: 8}
+}
+
+func (p GCPolicy) withDefaults() GCPolicy {
+	if p.StepPages <= 0 {
+		p.StepPages = 8
+	}
+	return p
+}
+
+// HotCold reports whether relocated pages go to a dedicated GC active block.
+func (p GCPolicy) HotCold() bool { return !p.DisableHotCold }
+
+// String renders the policy for stats output.
+func (p GCPolicy) String() string {
+	hc := "on"
+	if p.DisableHotCold {
+		hc = "off"
+	}
+	return fmt.Sprintf("%s step=%d hot/cold=%s", p.Victim, p.withDefaults().StepPages, hc)
+}
+
+// collectDie is the foreground correctness backstop: it runs garbage
+// collection on one die until the die's free-block count is above the
+// low-water mark or no further space can be reclaimed.  The work (copybacks
+// and erases) is issued against the flash device in the caller's virtual
+// time, so a host write that trips the low watermark pays the full
+// victim-relocation latency inline — exactly the stall that background GC
+// (bggc.go) exists to avoid.  Caller holds m.mu.
 func (m *Manager) collectDie(now sim.Time, r *Region, da *dieAlloc) sim.Time {
-	pagesPerBlock := m.geo.PagesPerBlock
+	r.gcStalls++
+	m.sched.ObserveGCStall()
 	for da.freeCount() <= m.opts.GCLowWaterBlocks {
-		victim := m.pickVictim(da)
+		victim := m.pickVictim(da, r.gc)
 		if victim < 0 {
 			break
 		}
 		r.gcRuns++
-		now = m.relocateAndErase(now, r, da, victim, pagesPerBlock)
+		copybacks, erases := r.gcCopybacks, r.gcErases
+		now = m.relocateAndErase(now, r, da, victim, m.geo.PagesPerBlock, r.gc)
+		if r.gcCopybacks == copybacks && r.gcErases == erases {
+			// No destination slots and nothing erased: further iterations
+			// would re-pick the same victim without making progress, so let
+			// the allocation fail upward instead of spinning.
+			break
+		}
 	}
 	if m.opts.WearLevelDelta > 0 {
-		now = m.maybeWearLevel(now, r, da, pagesPerBlock)
+		now = m.maybeWearLevel(now, r, da)
 	}
 	return now
 }
 
-// pickVictim chooses the closed block with the fewest valid pages (greedy
-// policy).  Blocks that are completely valid are never picked because
-// collecting them reclaims nothing.  It returns -1 when no block qualifies.
-// Caller holds m.mu.
-func (m *Manager) pickVictim(da *dieAlloc) int {
+// pickVictim chooses a victim block on the die under the region's policy, or
+// -1 when no block qualifies.  Caller holds m.mu.
+func (m *Manager) pickVictim(da *dieAlloc, pol GCPolicy) int {
+	if pol.Victim == VictimCostBenefit {
+		return m.pickVictimCostBenefit(da)
+	}
+	return m.pickVictimGreedy(da)
+}
+
+// pickVictimGreedy chooses the closed block with the fewest valid pages.
+// Blocks that are completely valid are never picked because collecting them
+// reclaims nothing.  Caller holds m.mu.
+func (m *Manager) pickVictimGreedy(da *dieAlloc) int {
 	best := -1
 	bestValid := m.geo.PagesPerBlock // must be strictly better than "all valid"
 	for i := range da.blocks {
@@ -51,29 +160,77 @@ func (m *Manager) pickVictim(da *dieAlloc) int {
 	return best
 }
 
-// relocateAndErase moves the victim's still-valid pages to the die's GC open
-// block using the on-die copyback command, then erases the victim and returns
-// it to the free list.  The copybacks are submitted to the I/O scheduler as
-// one GC-priority batch; note that priorities order requests within a single
+// pickVictimCostBenefit chooses the closed block maximizing
+// age * (1-u) / 2u, where u is the block's valid-page utilization and age is
+// the write-sequence distance since the block last changed.  Caller holds
+// m.mu.
+func (m *Manager) pickVictimCostBenefit(da *dieAlloc) int {
+	best := -1
+	var bestScore float64
+	ppb := m.geo.PagesPerBlock
+	for i := range da.blocks {
+		blk := &da.blocks[i]
+		if blk.state != blkClosed {
+			continue
+		}
+		if i == da.hostOpen || i == da.gcOpen {
+			continue
+		}
+		if blk.validCount >= ppb {
+			continue // fully valid: reclaims nothing
+		}
+		u := float64(clampValid(blk.validCount, ppb)) / float64(ppb)
+		age := 1.0
+		if m.seq > blk.lastWrite {
+			age += float64(m.seq - blk.lastWrite)
+		}
+		score := age * (1 - u) / (2*u + 1e-9)
+		if best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// clampValid bounds a valid-page count into [0, pagesPerBlock] so corrupted
+// or wrapped counters cannot skew victim scoring.
+func clampValid(v, pagesPerBlock int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > pagesPerBlock {
+		return pagesPerBlock
+	}
+	return v
+}
+
+// relocateAndErase moves up to maxMoves still-valid pages of the victim to an
+// active block chosen by the region's policy using the on-die copyback
+// command, then — once the victim holds no valid pages — erases it and
+// returns it to the free list.  A bounded maxMoves turns this into one
+// incremental GC step: the victim simply stays closed until later steps
+// finish it.  The copybacks are submitted to the I/O scheduler as one
+// GC-priority batch; note that priorities order requests within a single
 // dispatch only — a host request arriving after this batch has been
 // dispatched still queues behind it on the die, exactly as on hardware that
 // cannot abort an in-flight program.  Caller holds m.mu.
-func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim int, pagesPerBlock int) sim.Time {
+func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim, maxMoves int, pol GCPolicy) sim.Time {
+	pagesPerBlock := m.geo.PagesPerBlock
 	vblk := &da.blocks[victim]
 
-	// Reserve a destination slot for every valid page, then dispatch the
-	// copybacks as one batch.
+	// Reserve a destination slot for every valid page (up to the step
+	// bound), then dispatch the copybacks as one batch.
 	type move struct {
 		page int
 		dst  slotRef
 	}
 	var moves []move
 	var reqs []iosched.Request
-	for page := 0; page < pagesPerBlock; page++ {
+	for page := 0; page < pagesPerBlock && len(moves) < maxMoves; page++ {
 		if !vblk.valid[page] {
 			continue
 		}
-		dst, ok := m.gcSlot(da)
+		dst, ok := m.relocSlot(da, pol)
 		if !ok {
 			// No space to relocate into: give up on the remaining pages (the
 			// victim stays closed and keeps them).
@@ -96,16 +253,21 @@ func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim
 			// reserved slot; the page remains valid in the victim, which
 			// therefore cannot be erased this round.
 			dblk.nextPage--
+			m.retireIfBad(da, mv.dst.block)
 			continue
 		}
 		lpn := LPN(c.Meta.LPN)
 		dblk.lpns[mv.dst.page] = lpn
 		dblk.valid[mv.dst.page] = true
 		dblk.validCount++
+		dblk.lastWrite = m.seq
 		if dblk.nextPage >= pagesPerBlock {
 			dblk.state = blkClosed
 			if da.gcOpen == mv.dst.block {
 				da.gcOpen = -1
+			}
+			if da.hostOpen == mv.dst.block {
+				da.hostOpen = -1
 			}
 		}
 		// Redirect the logical page to its new physical home.
@@ -114,24 +276,59 @@ func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim
 		vblk.validCount--
 		r.gcCopybacks++
 	}
-	now = end
+	if len(reqs) > 0 {
+		now = end
+	}
 	if vblk.validCount > 0 {
-		// Could not fully clean the victim; leave it closed.
+		// Not fully relocated (step bound, slot shortage or copyback error);
+		// leave the victim closed for a later step.
 		return now
 	}
 	done, err := m.sched.Erase(now, flash.BlockAddr{Die: da.die, Block: victim}, iosched.PrioGC)
 	if err != nil {
-		// A worn-out block stays out of circulation: mark it closed with no
-		// valid pages so it is never picked again.
-		vblk.state = blkClosed
+		// A worn-out block leaves circulation for good: retired blocks are
+		// skipped by every victim scan, so a failed erase cannot leave an
+		// empty closed block that greedy would re-pick forever.
+		vblk.state = blkRetired
 		return now
 	}
 	now = done
 	vblk.reset(pagesPerBlock)
-	vblk.eraseCount++
+	if vblk.eraseCount < math.MaxInt64 {
+		vblk.eraseCount++ // saturate instead of wrapping negative
+	}
 	da.freeBlocks = append(da.freeBlocks, victim)
 	r.gcErases++
 	return now
+}
+
+// relocSlot returns the next destination slot for a relocated page.  With
+// hot/cold separation (the default) relocated pages fill a dedicated GC
+// active block; with separation off they share the die's host active block,
+// re-mixing cold survivors with fresh hot writes.  Caller holds m.mu.
+func (m *Manager) relocSlot(da *dieAlloc, pol GCPolicy) (slotRef, bool) {
+	if pol.HotCold() {
+		return m.gcSlot(da)
+	}
+	if da.hostOpen < 0 || da.blocks[da.hostOpen].nextPage >= m.geo.PagesPerBlock {
+		idx := m.popFreeBlock(da)
+		if idx < 0 {
+			// Sharing the host block is a placement preference, not a
+			// correctness constraint: when the free list is empty but a GC
+			// block is still open (e.g. left over from a policy switch),
+			// use it rather than wedging the collection.
+			if da.gcOpen >= 0 && da.blocks[da.gcOpen].nextPage < m.geo.PagesPerBlock {
+				return m.gcSlot(da)
+			}
+			return slotRef{}, false
+		}
+		da.blocks[idx].state = blkOpen
+		da.hostOpen = idx
+	}
+	blk := &da.blocks[da.hostOpen]
+	slot := slotRef{block: da.hostOpen, page: blk.nextPage}
+	blk.nextPage++
+	return slot, true
 }
 
 // gcSlot returns the next page slot of the die's GC open block, opening a new
@@ -155,13 +352,19 @@ func (m *Manager) gcSlot(da *dieAlloc) (slotRef, bool) {
 // maybeWearLevel performs static wear leveling: when the spread between the
 // most- and least-worn block of the die exceeds the configured delta, the
 // coldest block (least worn, typically holding static data) is relocated and
-// erased so that its low-wear cells re-enter circulation.  Caller holds m.mu.
-func (m *Manager) maybeWearLevel(now sim.Time, r *Region, da *dieAlloc, pagesPerBlock int) sim.Time {
+// erased so that its low-wear cells re-enter circulation.
+//
+// All erase-count arithmetic is overflow-safe: counters are clamped to
+// non-negative before comparison and the spread/threshold checks are written
+// as subtractions of non-negative values, so a saturated counter near
+// math.MaxInt64 can never wrap a comparison and trick the leveler into
+// moving the wrong block (or moving blocks forever).  Caller holds m.mu.
+func (m *Manager) maybeWearLevel(now sim.Time, r *Region, da *dieAlloc) sim.Time {
 	var minE, maxE int64
 	minIdx := -1
 	first := true
 	for i := range da.blocks {
-		ec := da.blocks[i].eraseCount
+		ec := clampErase(da.blocks[i].eraseCount)
 		if first {
 			minE, maxE = ec, ec
 			first = false
@@ -173,22 +376,61 @@ func (m *Manager) maybeWearLevel(now sim.Time, r *Region, da *dieAlloc, pagesPer
 			maxE = ec
 		}
 		if da.blocks[i].state == blkClosed && i != da.hostOpen && i != da.gcOpen {
-			if minIdx < 0 || da.blocks[i].eraseCount < da.blocks[minIdx].eraseCount {
+			if minIdx < 0 || clampErase(da.blocks[i].eraseCount) < clampErase(da.blocks[minIdx].eraseCount) {
 				minIdx = i
 			}
 		}
 	}
-	if minIdx < 0 || maxE-minE <= m.opts.WearLevelDelta {
+	// maxE >= minE >= 0, so the uint64 difference cannot overflow even when
+	// a counter has saturated at math.MaxInt64.
+	if minIdx < 0 || uint64(maxE)-uint64(minE) <= uint64(m.opts.WearLevelDelta) {
 		return now
 	}
-	if da.blocks[minIdx].eraseCount > minE+m.opts.WearLevelDelta/2 {
+	if clampErase(da.blocks[minIdx].eraseCount)-minE > m.opts.WearLevelDelta/2 {
 		// The coldest closed block is not actually among the least worn.
+		// (Written as a subtraction: the old minE + delta/2 form overflows
+		// int64 when counters approach the saturation cap.)
 		return now
 	}
 	before := r.gcErases
-	now = m.relocateAndErase(now, r, da, minIdx, pagesPerBlock)
+	now = m.relocateAndErase(now, r, da, minIdx, m.geo.PagesPerBlock, r.gc)
 	if r.gcErases > before {
 		r.wlMoves++
 	}
 	return now
+}
+
+// clampErase bounds an erase counter to be non-negative so that a wrapped or
+// corrupted value cannot skew wear-leveling decisions.
+func clampErase(ec int64) int64 {
+	if ec < 0 {
+		return 0
+	}
+	return ec
+}
+
+// retireIfBad checks whether a block that just refused a program has been
+// marked bad by the device (which happens at the final erase of its
+// endurance budget, while the block is empty) and, if so, retires it so
+// allocation stops handing out its pages.  Without this, a bad block stays
+// the die's open block and every subsequent write to it fails forever.
+// Caller holds m.mu.
+func (m *Manager) retireIfBad(da *dieAlloc, block int) {
+	bad, err := m.dev.IsBad(flash.BlockAddr{Die: da.die, Block: block})
+	if err != nil || !bad {
+		return
+	}
+	blk := &da.blocks[block]
+	if blk.validCount > 0 {
+		// Defensive: never drop live data (cannot happen with erase-time
+		// badness, since such blocks are empty).
+		return
+	}
+	blk.state = blkRetired
+	if da.hostOpen == block {
+		da.hostOpen = -1
+	}
+	if da.gcOpen == block {
+		da.gcOpen = -1
+	}
 }

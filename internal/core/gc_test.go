@@ -381,3 +381,70 @@ func TestVerifyIntegrityAfterStress(t *testing.T) {
 		t.Fatal("undersized hot region never spilled (sizing assumption broken)")
 	}
 }
+
+// Property: interleaving batched writes (WritePages) with background GC
+// steps preserves every invariant the manager maintains — invalid-page
+// accounting, per-block valid counters, per-region valid-page totals — and
+// every logical page reads back the last value written.  The config byte
+// varies the GC policy (victim selection, hot/cold routing, step size) so
+// the property holds across the whole policy space.
+func TestGCConsistencyUnderBatchedWritesProperty(t *testing.T) {
+	f := func(ops []uint8, cfg uint8) bool {
+		dev := smallDevice(t, 2, 16, 8)
+		opts := DefaultOptions()
+		opts.OverprovisionPct = 0.25
+		if cfg&1 != 0 {
+			opts.GC.Victim = VictimCostBenefit
+		}
+		if cfg&2 != 0 {
+			opts.GC.DisableHotCold = true
+		}
+		opts.GC.StepPages = int(cfg>>2)%4 + 1
+		m := NewManager(dev, opts)
+		const universe = 48
+		start := m.AllocateLPNs(universe)
+		last := map[LPN]byte{}
+		now := sim.Time(0)
+		for i := 0; i < len(ops); {
+			n := int(ops[i])%7 + 1
+			writes := make([]PageWrite, 0, n)
+			for j := 0; j < n && i < len(ops); j++ {
+				lpn := start + LPN(int(ops[i])%universe)
+				val := byte(i)
+				writes = append(writes, PageWrite{LPN: lpn, Data: fillPage(dev, val)})
+				last[lpn] = val
+				i++
+			}
+			done, err := m.WritePages(now, writes)
+			if err != nil {
+				return false
+			}
+			now = done
+			if i%3 == 0 {
+				m.PumpBackgroundGC(now)
+			}
+			if err := m.VerifyIntegrity(); err != nil {
+				t.Logf("integrity after batch ending at op %d: %v", i, err)
+				return false
+			}
+			if st := m.Stats(); st.ValidPages != int64(len(last)) {
+				t.Logf("valid pages %d, want %d distinct LPNs", st.ValidPages, len(last))
+				return false
+			}
+		}
+		lpns := make([]LPN, 0, len(last))
+		for lpn := range last {
+			lpns = append(lpns, lpn)
+		}
+		reads, _ := m.ReadPages(now, lpns, nil)
+		for k, rd := range reads {
+			if rd.Err != nil || rd.Data[0] != last[lpns[k]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,12 +18,25 @@ type Options struct {
 	// withheld from the logical capacity so that garbage collection always
 	// finds reclaimable blocks.  Default 0.12.
 	OverprovisionPct float64
-	// GCLowWaterBlocks is the per-die number of free blocks below which
-	// allocation triggers garbage collection.  Default 3.
+	// GCLowWaterBlocks is the per-die number of free blocks at or below which
+	// allocation triggers a blocking foreground collection (the correctness
+	// backstop).  Default 3.
 	GCLowWaterBlocks int
+	// GCHighWaterBlocks is the per-die number of free blocks at or below
+	// which background GC runs opportunistic bounded steps after host writes
+	// (see bggc.go).  Must exceed GCLowWaterBlocks; default
+	// GCLowWaterBlocks+3.
+	GCHighWaterBlocks int
 	// GCReserveBlocks is the per-die number of free blocks reserved for
 	// garbage collection itself; host writes never consume them.  Default 1.
 	GCReserveBlocks int
+	// DisableBackgroundGC reverts to purely foreground (synchronous)
+	// collection: all GC work is charged inline to the host write that
+	// trips the low watermark, as in the pre-background-GC behaviour.
+	DisableBackgroundGC bool
+	// GC is the default garbage-collection policy new regions start with;
+	// CREATE REGION / ALTER REGION clauses override it per region.
+	GC GCPolicy
 	// WearLevelDelta is the difference between the most- and least-worn
 	// block of a die above which static wear leveling kicks in during GC.
 	// Zero disables static wear leveling.  Default 64.
@@ -40,11 +53,13 @@ type Options struct {
 // DefaultOptions returns the defaults described on each field.
 func DefaultOptions() Options {
 	return Options{
-		Mode:             PlacementRegions,
-		OverprovisionPct: 0.12,
-		GCLowWaterBlocks: 3,
-		GCReserveBlocks:  1,
-		WearLevelDelta:   64,
+		Mode:              PlacementRegions,
+		OverprovisionPct:  0.12,
+		GCLowWaterBlocks:  3,
+		GCHighWaterBlocks: 6,
+		GCReserveBlocks:   1,
+		WearLevelDelta:    64,
+		GC:                DefaultGCPolicy(),
 	}
 }
 
@@ -61,6 +76,13 @@ func (o Options) withDefaults() Options {
 	if o.GCReserveBlocks >= o.GCLowWaterBlocks {
 		o.GCLowWaterBlocks = o.GCReserveBlocks + 2
 	}
+	if o.GCHighWaterBlocks <= o.GCLowWaterBlocks {
+		o.GCHighWaterBlocks = o.GCLowWaterBlocks + 3
+	}
+	if o.WearLevelDelta < 0 {
+		o.WearLevelDelta = 0
+	}
+	o.GC = o.GC.withDefaults()
 	return o
 }
 
@@ -69,9 +91,10 @@ func (o Options) withDefaults() Options {
 type blockState uint8
 
 const (
-	blkFree blockState = iota // fully erased, on the free list
-	blkOpen                   // currently receiving writes (host or GC)
-	blkClosed                 // fully programmed or retired from writing
+	blkFree    blockState = iota // fully erased, on the free list
+	blkOpen                      // currently receiving writes (host or GC)
+	blkClosed                    // fully programmed, eligible as a GC victim
+	blkRetired                   // worn out (erase failed); never used again
 )
 
 // blockInfo is the manager-side bookkeeping for one erase block.
@@ -80,6 +103,7 @@ type blockInfo struct {
 	validCount int
 	nextPage   int
 	eraseCount int64
+	lastWrite  uint64 // manager write sequence when the block last changed
 	lpns       []LPN
 	valid      []bool
 }
@@ -88,6 +112,7 @@ func (b *blockInfo) reset(pagesPerBlock int) {
 	b.state = blkFree
 	b.validCount = 0
 	b.nextPage = 0
+	b.lastWrite = 0
 	if b.lpns == nil {
 		b.lpns = make([]LPN, pagesPerBlock)
 		b.valid = make([]bool, pagesPerBlock)
@@ -108,6 +133,7 @@ type dieAlloc struct {
 	freeBlocks []int // indexes of blocks in state blkFree
 	hostOpen   int   // block index, -1 if none
 	gcOpen     int   // block index, -1 if none
+	bgVictim   int   // victim being incrementally collected in background, -1 if none
 }
 
 func (da *dieAlloc) freeCount() int { return len(da.freeBlocks) }
@@ -174,7 +200,7 @@ func NewManager(dev *flash.Device, opts Options) *Manager {
 	m.dieOwner = make([]RegionID, nDies)
 	m.dies = make([]*dieAlloc, nDies)
 	for i := 0; i < nDies; i++ {
-		da := &dieAlloc{die: i, regionID: DefaultRegionID, hostOpen: -1, gcOpen: -1}
+		da := &dieAlloc{die: i, regionID: DefaultRegionID, hostOpen: -1, gcOpen: -1, bgVictim: -1}
 		da.blocks = make([]blockInfo, m.geo.BlocksPerDie)
 		da.freeBlocks = make([]int, 0, m.geo.BlocksPerDie)
 		for b := 0; b < m.geo.BlocksPerDie; b++ {
@@ -185,6 +211,7 @@ func NewManager(dev *flash.Device, opts Options) *Manager {
 	}
 
 	def := newRegion(DefaultRegionID, DefaultRegionName)
+	def.gc = opts.GC
 	allDies := make([]int, nDies)
 	for i := range allDies {
 		allDies[i] = i
@@ -307,6 +334,10 @@ func (m *Manager) CreateRegion(spec RegionSpec) (*Region, error) {
 	}
 
 	r := newRegion(m.nextRegion, spec.Name)
+	r.gc = m.opts.GC
+	if spec.GC != nil {
+		r.gc = spec.GC.withDefaults()
+	}
 	m.nextRegion++
 	r.dies = sortedCopy(chosen)
 	if spec.MaxSizeBytes > 0 {
@@ -538,9 +569,12 @@ func (m *Manager) ReadPage(now sim.Time, lpn LPN, buf []byte) ([]byte, sim.Time,
 
 // WritePage writes (or overwrites) the logical page out of place in the
 // region selected by the hint.  The previous physical version, if any, is
-// invalidated.  Garbage collection may run synchronously as part of the call
-// when the target die runs out of free blocks; its cost is charged to the
-// caller's virtual time, exactly like foreground GC on a real device.
+// invalidated.  When the target die falls to the low watermark, a blocking
+// foreground collection runs as part of the call and its cost is charged to
+// the caller's virtual time, exactly like foreground GC on a real device;
+// between the high and low watermarks, background GC instead runs a bounded
+// step after the write whose cost is absorbed by the die's idle slots
+// (see bggc.go).
 func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Time, error) {
 	start := now
 	m.mu.Lock()
@@ -593,9 +627,11 @@ func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Tim
 	done, err := m.sched.Program(now, addr, data, meta, iosched.PrioHostWrite)
 	if err != nil {
 		// Roll back the slot reservation bookkeeping; the block page is
-		// still erased because the program failed.
+		// still erased because the program failed.  A block the device has
+		// marked bad is retired so the next write opens a fresh one.
 		blk := &da.blocks[slot.block]
 		blk.nextPage--
+		m.retireIfBad(da, slot.block)
 		m.mu.Unlock()
 		return now, err
 	}
@@ -604,6 +640,7 @@ func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Tim
 	blk.lpns[slot.page] = lpn
 	blk.valid[slot.page] = true
 	blk.validCount++
+	blk.lastWrite = m.seq
 	if blk.nextPage >= m.geo.PagesPerBlock {
 		blk.state = blkClosed
 		if da.hostOpen == slot.block {
@@ -631,6 +668,10 @@ func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Tim
 	// had to wait for, exactly what a host sees on a device doing foreground
 	// garbage collection.
 	r.writeLat.Observe(done.Sub(start))
+	// Opportunistic background GC: a bounded step on the die just written,
+	// after the host latency has been recorded — its cost lands in the die's
+	// idle time, not in this write's response time.
+	m.backgroundGCLocked(done, da)
 	m.mu.Unlock()
 	return done, nil
 }
@@ -645,6 +686,9 @@ func (m *Manager) invalidate(e mapEntry) {
 		if blk.validCount > 0 {
 			blk.validCount--
 		}
+		// Invalidations refresh the block's age: cost-benefit victim
+		// selection treats a block whose contents are still churning as hot.
+		blk.lastWrite = m.seq
 	}
 }
 
@@ -713,6 +757,13 @@ func (m *Manager) allocateSlot(now sim.Time, r *Region) (*dieAlloc, slotRef, sim
 func (m *Manager) openHostBlock(now sim.Time, r *Region, da *dieAlloc) (sim.Time, bool) {
 	if da.freeCount() <= m.opts.GCLowWaterBlocks {
 		now = m.collectDie(now, r, da)
+	}
+	// Under a policy without hot/cold separation the collection itself may
+	// have (re)opened the host block to hold relocated pages; opening
+	// another one here would orphan it (an open block no victim scan sees)
+	// and leak its space.
+	if da.hostOpen >= 0 && da.blocks[da.hostOpen].nextPage < m.geo.PagesPerBlock {
+		return now, true
 	}
 	// Host writes must leave the GC reserve untouched.
 	if da.freeCount() <= m.opts.GCReserveBlocks {

@@ -27,6 +27,9 @@ type RegionSpec struct {
 	// Dies optionally pins the region to these specific die indexes.  When
 	// non-empty it overrides MaxChips/MaxChannels-based selection.
 	Dies []int
+	// GC optionally overrides the manager's default garbage-collection
+	// policy for this region (the paper's per-region GC configuration).
+	GC *GCPolicy
 }
 
 // Validate reports whether the spec is well formed.
@@ -58,12 +61,16 @@ type Region struct {
 	capacityPages int64 // exported logical capacity (after over-provisioning)
 	validPages    int64 // logical pages currently mapped into this region
 
+	gc GCPolicy // per-region garbage-collection policy
+
 	// statistics
 	hostReads   int64
 	hostWrites  int64
 	gcCopybacks int64
 	gcErases    int64
 	gcRuns      int64
+	gcStalls    int64 // foreground collections: an allocation hit the low watermark
+	bgSteps     int64 // bounded background GC steps performed
 	wlMoves     int64
 	spills      int64 // writes redirected to the default region because this region was full
 	readLat     *metrics.Histogram
@@ -97,11 +104,14 @@ type RegionStats struct {
 	CapacityPages int64
 	ValidPages    int64
 	FreeBlocks    int
+	GC            GCPolicy
 	HostReads     int64
 	HostWrites    int64
 	GCCopybacks   int64
 	GCErases      int64
 	GCRuns        int64
+	GCStalls      int64 // foreground (blocking) collections under the low watermark
+	BGGCSteps     int64 // bounded background GC steps
 	WearMoves     int64
 	SpilledWrites int64
 	ReadLatency   metrics.Snapshot

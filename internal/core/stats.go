@@ -19,6 +19,8 @@ type Stats struct {
 	GCCopybacks int64
 	GCErases    int64
 	GCRuns      int64
+	GCStalls    int64 // foreground (blocking) collections under the low watermark
+	BGGCSteps   int64 // bounded background GC steps
 	WearMoves   int64
 	ValidPages  int64
 	// Device-level counters (include everything the regions did).
@@ -52,8 +54,8 @@ func (s Stats) RegionByName(name string) (RegionStats, bool) {
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "placement mode: %s\n", s.Mode)
-	fmt.Fprintf(&b, "host reads=%d writes=%d  gc copybacks=%d erases=%d runs=%d  WA=%.2f\n",
-		s.HostReads, s.HostWrites, s.GCCopybacks, s.GCErases, s.GCRuns, s.WriteAmplification())
+	fmt.Fprintf(&b, "host reads=%d writes=%d  gc copybacks=%d erases=%d runs=%d bg-steps=%d stalls=%d  WA=%.2f\n",
+		s.HostReads, s.HostWrites, s.GCCopybacks, s.GCErases, s.GCRuns, s.BGGCSteps, s.GCStalls, s.WriteAmplification())
 	for _, r := range s.Regions {
 		fmt.Fprintf(&b, "  %s\n", r.String())
 	}
@@ -82,11 +84,14 @@ func (m *Manager) Stats() Stats {
 			Dies:          sortedCopy(r.dies),
 			CapacityPages: r.capacityPages,
 			ValidPages:    r.validPages,
+			GC:            r.gc,
 			HostReads:     r.hostReads,
 			HostWrites:    r.hostWrites,
 			GCCopybacks:   r.gcCopybacks,
 			GCErases:      r.gcErases,
 			GCRuns:        r.gcRuns,
+			GCStalls:      r.gcStalls,
+			BGGCSteps:     r.bgSteps,
 			WearMoves:     r.wlMoves,
 			SpilledWrites: r.spills,
 			ReadLatency:   r.readLat.Snapshot(),
@@ -120,6 +125,8 @@ func (m *Manager) Stats() Stats {
 		out.GCCopybacks += rs.GCCopybacks
 		out.GCErases += rs.GCErases
 		out.GCRuns += rs.GCRuns
+		out.GCStalls += rs.GCStalls
+		out.BGGCSteps += rs.BGGCSteps
 		out.WearMoves += rs.WearMoves
 		out.ValidPages += rs.ValidPages
 		out.TotalErase += rs.TotalErase
@@ -163,6 +170,7 @@ func (m *Manager) ResetCounters() {
 	for _, r := range m.regions {
 		r.hostReads, r.hostWrites = 0, 0
 		r.gcCopybacks, r.gcErases, r.gcRuns, r.wlMoves, r.spills = 0, 0, 0, 0, 0
+		r.gcStalls, r.bgSteps = 0, 0
 		r.readLat.Reset()
 		r.writeLat.Reset()
 	}

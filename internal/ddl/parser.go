@@ -19,12 +19,31 @@ type ColumnDef struct {
 // Statement is implemented by every parsed DDL statement.
 type Statement interface{ stmt() }
 
-// CreateRegion mirrors CREATE REGION name (MAX_CHIPS=…, MAX_CHANNELS=…, MAX_SIZE=…).
+// CreateRegion mirrors CREATE REGION name (MAX_CHIPS=…, MAX_CHANNELS=…,
+// MAX_SIZE=…, GC_POLICY=…, GC_STEP_PAGES=…, HOT_COLD=…).
 type CreateRegion struct {
 	Name         string
 	MaxChips     int
 	MaxChannels  int
 	MaxSizeBytes int64
+	// GCPolicy is the victim-selection policy (GREEDY or COST_BENEFIT);
+	// empty means the engine default.
+	GCPolicy string
+	// GCStepPages bounds one background GC step; zero means the default.
+	GCStepPages int
+	// HotCold is "ON", "OFF" or empty (engine default).
+	HotCold string
+}
+
+// AlterRegion mirrors ALTER REGION name SET GC_POLICY=…, GC_STEP_PAGES=…,
+// HOT_COLD=… (with or without parentheses around the option list).  Only
+// garbage-collection options can be altered online; the die set and size of
+// a region are fixed at creation.
+type AlterRegion struct {
+	Name        string
+	GCPolicy    string
+	GCStepPages int
+	HotCold     string
 }
 
 // CreateTablespace mirrors CREATE TABLESPACE name (REGION=…, EXTENT SIZE …).
@@ -57,6 +76,7 @@ type DropStatement struct {
 }
 
 func (CreateRegion) stmt()     {}
+func (AlterRegion) stmt()      {}
 func (CreateTablespace) stmt() {}
 func (CreateTable) stmt()      {}
 func (CreateIndex) stmt()      {}
@@ -207,6 +227,11 @@ func (p *parser) statement() (Statement, error) {
 		default:
 			return nil, p.errorf("expected REGION, TABLESPACE, TABLE or INDEX after CREATE")
 		}
+	case p.acceptKeyword("ALTER"):
+		if err := p.expectKeyword("REGION"); err != nil {
+			return nil, err
+		}
+		return p.alterRegion()
 	case p.acceptKeyword("DROP"):
 		kindTok := p.next()
 		kind := strings.ToUpper(kindTok.text)
@@ -221,7 +246,7 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return DropStatement{Kind: kind, Name: name}, nil
 	default:
-		return nil, p.errorf("expected CREATE or DROP")
+		return nil, p.errorf("expected CREATE, ALTER or DROP")
 	}
 }
 
@@ -240,29 +265,41 @@ func (p *parser) createRegion() (Statement, error) {
 			if err := p.expectPunct("="); err != nil {
 				return nil, err
 			}
-			val, err := p.expectNumber()
-			if err != nil {
-				return nil, err
-			}
 			switch strings.ToUpper(key) {
 			case "MAX_CHIPS", "MAX_DIES":
+				val, err := p.expectNumber()
+				if err != nil {
+					return nil, err
+				}
 				n, err := strconv.Atoi(strings.TrimRight(val, "KMGkmg"))
 				if err != nil {
 					return nil, p.errorf("bad MAX_CHIPS value %q", val)
 				}
 				st.MaxChips = n
 			case "MAX_CHANNELS":
+				val, err := p.expectNumber()
+				if err != nil {
+					return nil, err
+				}
 				n, err := strconv.Atoi(strings.TrimRight(val, "KMGkmg"))
 				if err != nil {
 					return nil, p.errorf("bad MAX_CHANNELS value %q", val)
 				}
 				st.MaxChannels = n
 			case "MAX_SIZE":
+				val, err := p.expectNumber()
+				if err != nil {
+					return nil, err
+				}
 				sz, err := parseSize(val)
 				if err != nil {
 					return nil, err
 				}
 				st.MaxSizeBytes = sz
+			case "GC_POLICY", "GC_STEP_PAGES", "HOT_COLD":
+				if err := p.gcOption(key, &st.GCPolicy, &st.GCStepPages, &st.HotCold); err != nil {
+					return nil, err
+				}
 			default:
 				return nil, p.errorf("unknown region option %q", key)
 			}
@@ -273,6 +310,82 @@ func (p *parser) createRegion() (Statement, error) {
 		if err := p.expectPunct(")"); err != nil {
 			return nil, err
 		}
+	}
+	return st, nil
+}
+
+// gcOption parses the value of one garbage-collection region option (the
+// key and '=' have already been consumed).
+func (p *parser) gcOption(key string, policy *string, stepPages *int, hotCold *string) error {
+	switch strings.ToUpper(key) {
+	case "GC_POLICY":
+		val, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		*policy = strings.ToUpper(val)
+	case "GC_STEP_PAGES":
+		val, err := p.expectNumber()
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return p.errorf("bad GC_STEP_PAGES value %q", val)
+		}
+		*stepPages = n
+	case "HOT_COLD":
+		val, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		v := strings.ToUpper(val)
+		if v != "ON" && v != "OFF" {
+			return p.errorf("HOT_COLD must be ON or OFF, got %q", val)
+		}
+		*hotCold = v
+	default:
+		return p.errorf("unknown GC option %q", key)
+	}
+	return nil
+}
+
+// alterRegion parses ALTER REGION name SET key=value[, …], with the option
+// list optionally parenthesised.  "ALTER REGION" has been consumed.
+func (p *parser) alterRegion() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := AlterRegion{Name: name}
+	paren := p.acceptPunct("(")
+	opts := 0
+	for {
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		if err := p.gcOption(key, &st.GCPolicy, &st.GCStepPages, &st.HotCold); err != nil {
+			return nil, err
+		}
+		opts++
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if paren {
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if opts == 0 {
+		return nil, p.errorf("ALTER REGION needs at least one option")
 	}
 	return st, nil
 }

@@ -200,3 +200,68 @@ func TestParseComments(t *testing.T) {
 		t.Fatalf("%+v", ct)
 	}
 }
+
+func TestCreateRegionGCOptions(t *testing.T) {
+	st, err := ParseOne(`CREATE REGION rgHot (MAX_CHIPS=4, GC_POLICY=COST_BENEFIT, GC_STEP_PAGES=4, HOT_COLD=OFF);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := st.(CreateRegion)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if cr.MaxChips != 4 || cr.GCPolicy != "COST_BENEFIT" || cr.GCStepPages != 4 || cr.HotCold != "OFF" {
+		t.Fatalf("wrong clause: %+v", cr)
+	}
+	// Case-insensitive keys and values.
+	st, err = ParseOne(`create region r2 (max_chips=1, gc_policy=greedy, hot_cold=on);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr = st.(CreateRegion)
+	if cr.GCPolicy != "GREEDY" || cr.HotCold != "ON" {
+		t.Fatalf("wrong clause: %+v", cr)
+	}
+	// Bad values are rejected at parse time.
+	for _, bad := range []string{
+		`CREATE REGION r (MAX_CHIPS=1, HOT_COLD=MAYBE);`,
+		`CREATE REGION r (MAX_CHIPS=1, GC_STEP_PAGES=0);`,
+		`CREATE REGION r (MAX_CHIPS=1, GC_STEP_PAGES=x);`,
+	} {
+		if _, err := ParseOne(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestAlterRegion(t *testing.T) {
+	st, err := ParseOne(`ALTER REGION rgHot SET GC_POLICY=COST_BENEFIT, GC_STEP_PAGES=16;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, ok := st.(AlterRegion)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ar.Name != "rgHot" || ar.GCPolicy != "COST_BENEFIT" || ar.GCStepPages != 16 || ar.HotCold != "" {
+		t.Fatalf("wrong clause: %+v", ar)
+	}
+	// Parenthesised form.
+	st, err = ParseOne(`ALTER REGION rgHot SET (HOT_COLD=OFF);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar = st.(AlterRegion); ar.HotCold != "OFF" {
+		t.Fatalf("wrong clause: %+v", ar)
+	}
+	for _, bad := range []string{
+		`ALTER REGION rgHot;`,
+		`ALTER REGION rgHot SET;`,
+		`ALTER REGION rgHot SET MAX_CHIPS=4;`,
+		`ALTER TABLE t SET GC_POLICY=GREEDY;`,
+	} {
+		if _, err := ParseOne(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestAblationBackgroundGC is the A6 acceptance check: background GC must
+// reduce the p99 host-write latency (and watermark stalls) under a skewed
+// update workload, and hot/cold separation must reduce measured write
+// amplification.
+func TestAblationBackgroundGC(t *testing.T) {
+	res, err := RunAblationBackgroundGC(2000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.String())
+	if res.ForegroundStalls == 0 {
+		t.Fatal("foreground run never stalled; device sizing is off")
+	}
+	if res.BackgroundSteps == 0 {
+		t.Fatal("background run performed no GC steps")
+	}
+	if res.BackgroundStalls >= res.ForegroundStalls {
+		t.Fatalf("background GC did not reduce watermark stalls: %d vs %d",
+			res.BackgroundStalls, res.ForegroundStalls)
+	}
+	if res.BackgroundP99Write >= res.ForegroundP99Write {
+		t.Fatalf("background GC did not reduce p99 write latency: %v vs %v",
+			res.BackgroundP99Write, res.ForegroundP99Write)
+	}
+	if res.SeparatedWA >= res.MixedWA {
+		t.Fatalf("hot/cold separation did not reduce write amplification: %.3f vs %.3f",
+			res.SeparatedWA, res.MixedWA)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+}

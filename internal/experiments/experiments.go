@@ -131,6 +131,12 @@ func RunTPCC(scale Scale, placement tpcc.PlacementKind) (tpcc.Results, error) {
 		// are ignored and every object is striped uniformly over all dies.
 		setup.DB.Space.Mode = core.PlacementTraditional
 	}
+	// Figure 2/3 reproduce the paper's system, whose garbage collection runs
+	// in the foreground: the comparison isolates what data placement alone
+	// buys when GC interference hits the host.  Background GC (which hides
+	// much of that interference for either placement) is evaluated
+	// separately in ablation A6.
+	setup.DB.Space.DisableBackgroundGC = true
 	db, err := noftl.Open(setup.DB)
 	if err != nil {
 		return tpcc.Results{}, err
@@ -234,6 +240,7 @@ type Figure2 struct {
 func RunFigure2(scale Scale) (Figure2, error) {
 	setup := TPCCSetup(scale)
 	setup.TPCC.Placement = tpcc.PlacementTraditional
+	setup.DB.Space.DisableBackgroundGC = true // the paper's foreground-GC regime
 	db, err := noftl.Open(setup.DB)
 	if err != nil {
 		return Figure2{}, err

@@ -169,6 +169,7 @@ type Scheduler struct {
 	nextTicket Ticket
 	nextSeq    uint64
 	results    map[Ticket]Completion
+	busyUntil  []sim.Time // per-die completion horizon of dispatched work
 
 	set        *metrics.Set
 	batches    *metrics.Counter
@@ -179,15 +180,19 @@ type Scheduler struct {
 	queueDepth *metrics.Gauge
 	maxQueue   *metrics.Gauge
 	maxBatch   *metrics.Gauge
+	gcSteps    *metrics.Counter
+	gcStepSpan *metrics.Histogram
+	gcStalls   *metrics.Counter
 }
 
 // New creates a scheduler over the device.
 func New(dev Device) *Scheduler {
 	s := &Scheduler{
-		dev:     dev,
-		geo:     dev.Geometry(),
-		results: make(map[Ticket]Completion),
-		set:     metrics.NewSet(),
+		dev:       dev,
+		geo:       dev.Geometry(),
+		results:   make(map[Ticket]Completion),
+		busyUntil: make([]sim.Time, dev.Geometry().Dies()),
+		set:       metrics.NewSet(),
 	}
 	s.batches = s.set.Counter("iosched.batches")
 	s.requests = s.set.Counter("iosched.requests")
@@ -199,6 +204,9 @@ func New(dev Device) *Scheduler {
 	s.queueDepth = s.set.Gauge("iosched.queue_depth")
 	s.maxQueue = s.set.Gauge("iosched.max_queue_depth")
 	s.maxBatch = s.set.Gauge("iosched.max_batch_size")
+	s.gcSteps = s.set.Counter("iosched.gc_steps")
+	s.gcStepSpan = s.set.Histogram("iosched.gc_step_span")
+	s.gcStalls = s.set.Counter("iosched.gc_watermark_stalls")
 	return s
 }
 
@@ -264,6 +272,9 @@ func (s *Scheduler) dispatchLocked(now sim.Time, reqs []Request) ([]Completion, 
 		}
 		if c.Done > end {
 			end = c.Done
+		}
+		if d := req.die(); d >= 0 && d < len(s.busyUntil) && c.Done > s.busyUntil[d] {
+			s.busyUntil[d] = c.Done
 		}
 		if c.Err == nil {
 			s.latByPrio[req.Priority].Observe(c.Done.Sub(now))
@@ -355,6 +366,31 @@ func (s *Scheduler) Wait(now sim.Time, t Ticket) (Completion, bool) {
 	return c, true
 }
 
+// DieIdleAt returns the virtual time at which the die becomes idle: the
+// completion horizon of all work dispatched to it so far.  Background garbage
+// collection submits its steps at max(now, DieIdleAt(die)) so that relocation
+// work fills the die's idle slots instead of pushing in front of traffic that
+// is already accounted on the die.
+func (s *Scheduler) DieIdleAt(die int) sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if die < 0 || die >= len(s.busyUntil) {
+		return 0
+	}
+	return s.busyUntil[die]
+}
+
+// ObserveGCStep records one bounded background GC step (victim relocation
+// and/or erase) of the given virtual-time span in the scheduler's metrics.
+func (s *Scheduler) ObserveGCStep(span sim.Duration) {
+	s.gcSteps.Inc()
+	s.gcStepSpan.Observe(span)
+}
+
+// ObserveGCStall records one foreground (blocking) collection: an allocation
+// hit the low watermark and had to wait for GC inline.
+func (s *Scheduler) ObserveGCStall() { s.gcStalls.Inc() }
+
 // ---- single-request conveniences ----
 //
 // These keep the space manager's one-page paths on the scheduler (so every
@@ -385,4 +421,3 @@ func (s *Scheduler) Copyback(now sim.Time, src, dst flash.Addr) (flash.PageMeta,
 	cs, _ := s.Submit(now, []Request{{Op: OpCopyback, Addr: src, Dst: dst, Priority: PrioGC}})
 	return cs[0].Meta, cs[0].Done, cs[0].Err
 }
-

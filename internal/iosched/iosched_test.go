@@ -267,3 +267,50 @@ func BenchmarkBatchedVsSerialReads(b *testing.B) {
 		b.Fatalf("batched makespan %v not better than serial %v", batched, serial)
 	}
 }
+
+func TestDieIdleAtTracksDispatchedWork(t *testing.T) {
+	dev := testDevice(t)
+	program(t, dev, 0, 2)
+	resetTime(dev)
+	s := New(dev)
+	if s.DieIdleAt(0) != 0 || s.DieIdleAt(1) != 0 {
+		t.Fatal("fresh scheduler should report every die idle at t=0")
+	}
+	cs, end := s.Submit(0, []Request{
+		{Op: OpReadPage, Addr: flash.Addr{Die: 0, Block: 0, Page: 0}, Priority: PrioHostRead},
+		{Op: OpReadPage, Addr: flash.Addr{Die: 0, Block: 0, Page: 1}, Priority: PrioHostRead},
+	})
+	for _, c := range cs {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	if got := s.DieIdleAt(0); got != end {
+		t.Fatalf("die 0 idle at %v, want batch end %v", got, end)
+	}
+	if got := s.DieIdleAt(1); got != 0 {
+		t.Fatalf("die 1 was never used, idle at %v, want 0", got)
+	}
+	// Out-of-range dies are reported idle instead of panicking.
+	if s.DieIdleAt(-1) != 0 || s.DieIdleAt(10_000) != 0 {
+		t.Fatal("out-of-range dies should report idle at 0")
+	}
+}
+
+func TestGCStepMetrics(t *testing.T) {
+	dev := testDevice(t)
+	s := New(dev)
+	s.ObserveGCStep(100)
+	s.ObserveGCStep(300)
+	s.ObserveGCStall()
+	vals := s.Metrics().CounterValues()
+	if vals["iosched.gc_steps"] != 2 {
+		t.Fatalf("gc_steps = %d, want 2", vals["iosched.gc_steps"])
+	}
+	if vals["iosched.gc_watermark_stalls"] != 1 {
+		t.Fatalf("gc_watermark_stalls = %d, want 1", vals["iosched.gc_watermark_stalls"])
+	}
+	if h := s.Metrics().Histogram("iosched.gc_step_span"); h.Count() != 2 {
+		t.Fatalf("gc_step_span observations = %d, want 2", h.Count())
+	}
+}

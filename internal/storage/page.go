@@ -13,12 +13,12 @@ import (
 
 // Page type tags stored in the page header.
 const (
-	PageTypeFree     uint8 = 0
-	PageTypeHeap     uint8 = 1
+	PageTypeFree      uint8 = 0
+	PageTypeHeap      uint8 = 1
 	PageTypeBTreeLeaf uint8 = 2
 	PageTypeBTreeNode uint8 = 3
-	PageTypeMeta     uint8 = 4
-	PageTypeLog      uint8 = 5
+	PageTypeMeta      uint8 = 4
+	PageTypeLog       uint8 = 5
 )
 
 // Slotted page layout constants.
@@ -102,9 +102,9 @@ func SlotCount(buf []byte) int {
 func freeStart(buf []byte) int { return int(binary.LittleEndian.Uint16(buf[offFreeStart:])) }
 func freeEnd(buf []byte) int   { return int(binary.LittleEndian.Uint16(buf[offFreeEnd:])) }
 
-func setSlotCount(buf []byte, n int)  { binary.LittleEndian.PutUint16(buf[offSlotCount:], uint16(n)) }
-func setFreeStart(buf []byte, n int)  { binary.LittleEndian.PutUint16(buf[offFreeStart:], uint16(n)) }
-func setFreeEnd(buf []byte, n int)    { binary.LittleEndian.PutUint16(buf[offFreeEnd:], uint16(n)) }
+func setSlotCount(buf []byte, n int) { binary.LittleEndian.PutUint16(buf[offSlotCount:], uint16(n)) }
+func setFreeStart(buf []byte, n int) { binary.LittleEndian.PutUint16(buf[offFreeStart:], uint16(n)) }
+func setFreeEnd(buf []byte, n int)   { binary.LittleEndian.PutUint16(buf[offFreeEnd:], uint16(n)) }
 
 func slotOffsetPos(slot int) int { return PageHeaderSize + slot*slotSize }
 
@@ -296,8 +296,8 @@ func IterateRecords(buf []byte, fn func(slot uint16, rec []byte) bool) error {
 // at the end of the page and deleted space is reclaimed.
 func compact(buf []byte) {
 	type live struct {
-		slot   int
-		data   []byte
+		slot int
+		data []byte
 	}
 	var records []live
 	for s := 0; s < SlotCount(buf); s++ {

@@ -44,12 +44,12 @@ var errRollback = errors.New("tpcc: intentional rollback")
 // terminal is one closed-loop TPC-C terminal bound to a home warehouse and
 // district.
 type terminal struct {
-	db   *noftl.DB
-	sch  *Schema
-	cfg  Config
-	r    *rng
-	wID  int
-	dID  int
+	db  *noftl.DB
+	sch *Schema
+	cfg Config
+	r   *rng
+	wID int
+	dID int
 }
 
 // pickType draws a transaction type following the standard mix
