@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"noftl"
+	"noftl/internal/core"
 	"noftl/internal/experiments"
 	"noftl/internal/flash"
 	"noftl/internal/tpcc"
@@ -28,7 +29,7 @@ func benchDB(b *testing.B) *noftl.DB {
 		BlocksPerDie: 256, PagesPerBlock: 64, PageSize: 4096,
 	}
 	cfg.BufferPoolPages = 1024
-	db, err := noftl.Open(cfg)
+	db, err := noftl.OpenConfig(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -237,9 +238,12 @@ func BenchmarkIndexInsertLookup(b *testing.B) {
 // BenchmarkFlashWritePath measures the raw NoFTL write path (space manager +
 // flash model) without the database layers on top.
 func BenchmarkFlashWritePath(b *testing.B) {
-	db := benchDB(b)
-	mgr := db.SpaceManager()
-	payload := make([]byte, db.Device().Geometry().PageSize)
+	dev, err := flash.NewDevice(flash.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := core.NewManager(dev, core.DefaultOptions())
+	payload := make([]byte, dev.Geometry().PageSize)
 	lpns := mgr.AllocateLPNs(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -261,7 +265,7 @@ func BenchmarkTPCCTransactionBatch(b *testing.B) {
 		b.StopTimer()
 		setup := experiments.TPCCSetup(experiments.ScaleTiny)
 		setup.TPCC.Placement = tpcc.PlacementRegions
-		db, err := noftl.Open(setup.DB)
+		db, err := noftl.OpenConfig(setup.DB)
 		if err != nil {
 			b.Fatal(err)
 		}

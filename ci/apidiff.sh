@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# apidiff.sh — fail when the exported API of package noftl loses symbols
+# that are not explicitly allowlisted.
+#
+# Usage: ci/apidiff.sh [base-ref]     (default: HEAD~1)
+#
+# The exported surface of the working tree and of the base ref are both
+# extracted with ci/apicheck (the checker from the *current* tree is used for
+# both sides, so the output format always matches).  Symbols present in the
+# base but absent from the working tree are breaking changes; the build fails
+# unless every removed line appears in ci/API_allowlist.txt.  Additions are
+# reported but never fail the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${1:-HEAD~1}"
+ALLOWLIST="ci/API_allowlist.txt"
+tmp="$(mktemp -d)"
+trap 'git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true; rm -rf "$tmp"' EXIT
+
+go run ./ci/apicheck -dir . > "$tmp/new.txt"
+go run ./ci/apicheck -dir . -internal
+
+git worktree add --detach "$tmp/base" "$BASE" >/dev/null
+go run ./ci/apicheck -dir "$tmp/base" > "$tmp/old.txt"
+
+comm -23 "$tmp/old.txt" "$tmp/new.txt" > "$tmp/removed.txt" || true
+comm -13 "$tmp/old.txt" "$tmp/new.txt" > "$tmp/added.txt" || true
+
+if [ -s "$tmp/added.txt" ]; then
+    echo "added API ($(wc -l < "$tmp/added.txt") symbols):"
+    sed 's/^/  + /' "$tmp/added.txt"
+fi
+
+if [ -s "$tmp/removed.txt" ]; then
+    touch "$ALLOWLIST"
+    # Strip comments/blanks from the allowlist before matching.
+    grep -v '^\s*\(#\|$\)' "$ALLOWLIST" > "$tmp/allow.txt" || true
+    unallowed="$(grep -F -x -v -f "$tmp/allow.txt" "$tmp/removed.txt" || true)"
+    echo "removed API ($(wc -l < "$tmp/removed.txt") symbols):"
+    sed 's/^/  - /' "$tmp/removed.txt"
+    if [ -n "$unallowed" ]; then
+        echo
+        echo "UNINTENDED BREAKING CHANGES (not in $ALLOWLIST):"
+        echo "$unallowed" | sed 's/^/  ! /'
+        echo
+        echo "If the removal is intended, add the exact line(s) above to $ALLOWLIST."
+        exit 1
+    fi
+    echo "all removals are allowlisted in $ALLOWLIST"
+else
+    echo "no API removals vs $BASE"
+fi

@@ -6,8 +6,8 @@
 //
 //	noftl-bench -experiment figure3 -scale small
 //	noftl-bench -experiment all -scale paper     (the full 64-die run)
-//	noftl-bench -experiment batch,a6 -json BENCH_small.json
-//	noftl-bench -experiment batch,a6 -json out.json -baseline ci/BENCH_baseline.json
+//	noftl-bench -experiment batch,batch_dml,a6 -json BENCH_small.json
+//	noftl-bench -experiment batch,batch_dml,a6 -json out.json -baseline ci/BENCH_baseline.json
 //
 // With -json the results are additionally written as a machine-readable
 // document ("-" writes JSON to stdout and suppresses the text tables), so
@@ -39,7 +39,7 @@ type jsonDoc struct {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, a6 or all")
+		"comma-separated experiments to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6 or all")
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
 	baselinePath := flag.String("baseline", "", "compare gated metrics against this baseline JSON and fail on regression")
@@ -88,7 +88,7 @@ func main() {
 	known := map[string]bool{
 		"all": true, "figure2": true, "figure3": true, "headline": true,
 		"parallelism": true, "hotcold": true, "ftl": true, "sweep": true,
-		"batch": true, "a6": true,
+		"batch": true, "batch_dml": true, "a6": true,
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*experiment, ",") {
@@ -177,6 +177,16 @@ func main() {
 			return res, nil
 		})
 	}
+	if want("batch_dml") {
+		run("batch_dml", "Batch DML: InsertBatch/GetBatch vs row-at-a-time through the public API", func() (interface{}, error) {
+			res, err := experiments.RunBatchDML(2000, 256)
+			if err != nil {
+				return nil, err
+			}
+			say("%s\n", res.String())
+			return res, nil
+		})
+	}
 	if want("a6") {
 		run("a6", "A6: foreground vs background GC under a skewed update workload", func() (interface{}, error) {
 			res, err := experiments.RunAblationBackgroundGC(6000, 30000)
@@ -228,15 +238,17 @@ func main() {
 // only compares what both runs measured.
 type baselineDoc struct {
 	Experiments struct {
-		Batch *experiments.BatchedIOResult    `json:"batch"`
-		A6    *experiments.BackgroundGCResult `json:"a6"`
+		Batch    *experiments.BatchedIOResult    `json:"batch"`
+		BatchDML *experiments.BatchDMLResult     `json:"batch_dml"`
+		A6       *experiments.BackgroundGCResult `json:"a6"`
 	} `json:"experiments"`
 }
 
 // compareBaseline re-marshals the current results and diffs the gated
-// metrics against the baseline file: the A5 batched-I/O speedups must not
-// drop, and the A6 write amplification (and tail-latency win) must not rise,
-// by more than threshold relative.
+// metrics against the baseline file: the A5 batched-I/O speedups and the
+// batch-DML submission ratio and speedups must not drop, and the A6 write
+// amplification (and tail-latency win) must not rise, by more than threshold
+// relative.
 func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, error) {
 	baseRaw, err := os.ReadFile(path)
 	if err != nil {
@@ -275,6 +287,14 @@ func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, err
 	if cur.Experiments.Batch != nil && base.Experiments.Batch != nil {
 		lowerBound("A5 batched read speedup", cur.Experiments.Batch.ReadSpeedup, base.Experiments.Batch.ReadSpeedup)
 		lowerBound("A5 batched write speedup", cur.Experiments.Batch.WriteSpeedup, base.Experiments.Batch.WriteSpeedup)
+	}
+	if cur.Experiments.BatchDML != nil && base.Experiments.BatchDML != nil {
+		lowerBound("batch_dml insert submission ratio",
+			cur.Experiments.BatchDML.InsertSubmissionRatio, base.Experiments.BatchDML.InsertSubmissionRatio)
+		lowerBound("batch_dml insert speedup",
+			cur.Experiments.BatchDML.InsertSpeedup, base.Experiments.BatchDML.InsertSpeedup)
+		lowerBound("batch_dml read speedup",
+			cur.Experiments.BatchDML.GetSpeedup, base.Experiments.BatchDML.GetSpeedup)
 	}
 	if cur.Experiments.A6 != nil && base.Experiments.A6 != nil {
 		upperBound("A6 write amplification (hot/cold separated)", cur.Experiments.A6.SeparatedWA, base.Experiments.A6.SeparatedWA)

@@ -28,7 +28,7 @@ func main() {
 	cfg := noftl.DefaultConfig()
 	cfg.Flash.Geometry.Channels = 4
 	cfg.Flash.Geometry.DiesPerChannel = (*dies + 3) / 4
-	db, err := noftl.Open(cfg)
+	db, err := noftl.OpenConfig(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -54,17 +54,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("device: %s\n\n", db.Device().Geometry().String())
+	fmt.Printf("device: %s\n\n", db.Geometry().String())
+	schema := db.Schema()
 	fmt.Println("regions:")
-	for _, rs := range db.SpaceManager().Stats().Regions {
+	for _, rs := range db.Stats().Space.Regions {
 		fmt.Printf("  %-16s id=%d dies=%v capacity=%d pages\n", rs.Name, rs.ID, rs.Dies, rs.CapacityPages)
 	}
 	fmt.Println("\ntablespaces:")
-	for _, ts := range db.Catalog().Tablespaces() {
+	for _, ts := range schema.Tablespaces {
 		fmt.Printf("  %-16s region=%s extent=%d pages\n", ts.Name, ts.Region, ts.ExtentPages)
 	}
 	fmt.Println("\ntables:")
-	for _, t := range db.Catalog().Tables() {
+	for _, t := range schema.Tables {
 		cols := make([]string, len(t.Columns))
 		for i, c := range t.Columns {
 			cols[i] = c.Name + " " + c.Type
@@ -72,7 +73,7 @@ func main() {
 		fmt.Printf("  %-16s tablespace=%s (%s)\n", t.Name, t.Tablespace, strings.Join(cols, ", "))
 	}
 	fmt.Println("\nindexes:")
-	for _, i := range db.Catalog().Indexes() {
+	for _, i := range schema.Indexes {
 		fmt.Printf("  %-16s on %s(%s) tablespace=%s unique=%v\n",
 			i.Name, i.Table, strings.Join(i.Columns, ","), i.Tablespace, i.Unique)
 	}

@@ -2,19 +2,46 @@
 // Space Management for Native Flash" (Hardock et al., EDBT 2016).
 //
 // It exposes a small storage engine running directly on simulated native
-// flash under NoFTL space management with Regions:
+// flash under NoFTL space management with Regions.  Databases are opened
+// with functional options over DefaultConfig:
 //
-//	db, _ := noftl.Open(noftl.DefaultConfig())
+//	db, _ := noftl.Open(noftl.WithBufferPoolPages(4096), noftl.WithReadAhead(8))
 //	defer db.Close()
 //	_ = db.Exec(`CREATE REGION rgHot (MAX_CHIPS=4, MAX_CHANNELS=4);
 //	             CREATE TABLESPACE tsHot (REGION=rgHot, EXTENT SIZE 128K);
 //	             CREATE TABLE T (t_id NUMBER(3)) TABLESPACE tsHot;`)
 //
-// Tables, indexes and transactions are available programmatically; every
-// physical page carries the placement hint of its tablespace's region, so
-// the DBMS — not a flash translation layer — controls physical data
-// placement, garbage collection and wear leveling.  See DESIGN.md for the
-// full system inventory and EXPERIMENTS.md for the reproduced results.
+// Data access is batch-first and transactional: db.Update and db.View run a
+// closure inside a transaction; Table.InsertBatch, Table.GetBatch and
+// Index.LookupBatch ride the asynchronous I/O scheduler's die-striped batch
+// path, so a batch of pages costs roughly one page latency per die instead
+// of one per page; Table.Rows, Index.Range and Index.Prefix return Go 1.23
+// range-over-func iterators.
+//
+//	_ = db.Update(func(tx *noftl.Tx) error {
+//	    _, err := tbl.InsertBatch(tx, rows) // one scheduler submission
+//	    return err
+//	})
+//	_ = db.View(func(tx *noftl.Tx) error {
+//	    for rid, row := range tbl.Rows(tx) {
+//	        _ = rid
+//	        _ = row
+//	    }
+//	    return tx.Err()
+//	})
+//
+// Errors are classifiable with errors.Is (ErrNotFound, ErrClosed,
+// ErrUnsupported, ErrConflict, ErrRegionFull); DDL failures are *DDLError
+// values carrying the offending statement, position and clause.
+// Introspection is snapshot-only: Stats() captures every layer's counters
+// (buffer pool, I/O scheduler, per-region space/GC, device, WAL,
+// per-object), Schema() snapshots the catalog, Geometry() describes the
+// device, and Admin() is the narrow facade for region/GC/wear operations.
+//
+// Every physical page carries the placement hint of its tablespace's
+// region, so the DBMS — not a flash translation layer — controls physical
+// data placement, garbage collection and wear leveling.  See DESIGN.md for
+// the full system inventory and EXPERIMENTS.md for the reproduced results.
 package noftl
 
 import (
@@ -51,9 +78,14 @@ type Config struct {
 	ExtentPages int
 	// ReadAheadPages is the number of sequentially-next logical pages the
 	// buffer pool prefetches through the asynchronous I/O scheduler on a
-	// demand miss.  The prefetched pages ride in the same die-striped batch
-	// as the demanded page, so a sequential scan pays one page latency for
-	// several pages.  Zero disables read-ahead.
+	// demand miss.  When enabled, the prefetched pages ride in the same
+	// die-striped batch as the demanded page, so a sequential scan pays one
+	// page latency for several pages.
+	//
+	// Read-ahead is OFF by default (DefaultConfig leaves this zero): point
+	// workloads would pollute the pool with pages they never touch.
+	// Scan-heavy workloads opt in per database, typically with 4-8 pages:
+	// noftl.Open(noftl.WithReadAhead(8)).
 	ReadAheadPages int
 	// DisableGroupWriteBack turns off batched write-back: FlushAll and the
 	// background flushers then write dirty pages one at a time (the
@@ -73,7 +105,7 @@ func DefaultConfig() Config {
 		LockTimeout:     2 * time.Second,
 		CPUPerOp:        5 * time.Microsecond,
 		ExtentPages:     32,
-		ReadAheadPages:  0, // opt-in: scans enable it per workload
+		ReadAheadPages:  0, // read-ahead is opt-in: see the field's doc and WithReadAhead
 	}
 }
 

@@ -11,21 +11,11 @@ import (
 	"noftl/internal/core"
 	"noftl/internal/ddl"
 	"noftl/internal/flash"
-	"noftl/internal/iosched"
 	"noftl/internal/metrics"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/txn"
 	"noftl/internal/wal"
-)
-
-// Errors returned by the database facade.
-var (
-	// ErrNotFound reports a lookup of an unknown table, index, tablespace or
-	// region.
-	ErrNotFound = errors.New("noftl: not found")
-	// ErrClosed reports use of a closed database.
-	ErrClosed = errors.New("noftl: database closed")
 )
 
 // DB is a database instance running on simulated native flash under NoFTL
@@ -49,23 +39,8 @@ type DB struct {
 	closed      bool
 }
 
-// Open creates a database over a fresh simulated flash device.
-func Open(cfg Config) (*DB, error) {
-	cfg = cfg.withDefaults()
-	dev, err := flash.NewDevice(cfg.Flash)
-	if err != nil {
-		return nil, err
-	}
-	return openOn(cfg, dev)
-}
-
-// OpenOnDevice creates a database over an existing device (used by tools
-// that want to share a device between components).
-func OpenOnDevice(cfg Config, dev *flash.Device) (*DB, error) {
-	cfg = cfg.withDefaults()
-	return openOn(cfg, dev)
-}
-
+// openOn wires the database layers over an already-created device.  The
+// public entry points are Open and OpenConfig (options.go).
 func openOn(cfg Config, dev *flash.Device) (*DB, error) {
 	db := &DB{
 		cfg:         cfg,
@@ -147,34 +122,78 @@ func (db *DB) objectName(id uint32) (string, bool) {
 	return n, ok
 }
 
-// Device returns the underlying flash device.
-func (db *DB) Device() *flash.Device { return db.dev }
-
-// SpaceManager returns the NoFTL space manager.
-func (db *DB) SpaceManager() *core.Manager { return db.space }
-
-// Scheduler returns the asynchronous I/O scheduler between the space manager
-// and the flash device.
-func (db *DB) Scheduler() *iosched.Scheduler { return db.space.Scheduler() }
-
-// SchedulerMetrics returns the scheduler's metric set: queue depth, batch
-// sizes and per-priority request counts and latencies.
-func (db *DB) SchedulerMetrics() *metrics.Set { return db.space.Scheduler().Metrics() }
-
-// BufferPool returns the buffer pool.
-func (db *DB) BufferPool() *buffer.Pool { return db.pool }
-
-// Catalog returns the schema catalog.
-func (db *DB) Catalog() *catalog.Catalog { return db.cat }
-
-// WAL returns the write-ahead log (nil when disabled).
-func (db *DB) WAL() *wal.Log { return db.log }
-
-// Clock returns the global simulated clock.
-func (db *DB) Clock() *sim.Clock { return db.clock }
+// Geometry returns the flash device's geometry (channels, dies, blocks,
+// pages).  It is the read-only replacement for the former Device() escape
+// hatch; live counters are in Stats().
+func (db *DB) Geometry() DeviceGeometry { return db.dev.Geometry() }
 
 // SimulatedTime returns the highest simulated time observed so far.
 func (db *DB) SimulatedTime() sim.Time { return db.clock.Now() }
+
+// checkOpen returns ErrClosed once Close has been called.
+func (db *DB) checkOpen() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Schema is an immutable snapshot of the database schema: every region,
+// tablespace, table and index known to the catalog, each sorted by name.
+type Schema struct {
+	Regions     []RegionInfo
+	Tablespaces []TablespaceInfo
+	Tables      []TableInfo
+	Indexes     []IndexInfo
+}
+
+// Catalog entry types re-exported for Schema consumers.
+type (
+	// RegionInfo is the catalog entry of a NoFTL region.
+	RegionInfo = catalog.Region
+	// TablespaceInfo is the catalog entry of a tablespace.
+	TablespaceInfo = catalog.Tablespace
+	// TableInfo is the catalog entry of a table.
+	TableInfo = catalog.Table
+	// IndexInfo is the catalog entry of an index.
+	IndexInfo = catalog.Index
+	// Column describes one table column.
+	Column = catalog.Column
+)
+
+// Schema returns a snapshot of the full schema.  It replaces the former
+// Catalog() escape hatch.
+func (db *DB) Schema() Schema {
+	return Schema{
+		Regions:     db.cat.Regions(),
+		Tablespaces: db.cat.Tablespaces(),
+		Tables:      db.cat.Tables(),
+		Indexes:     db.cat.Indexes(),
+	}
+}
+
+// TimeCursor is a private virtual-time cursor publishing to the database's
+// global simulated clock: it starts at time zero and every advance is
+// published back, so the global clock tracks the furthest actor.
+// Closed-loop drivers give each worker its own cursor.
+type TimeCursor struct{ c *sim.Cursor }
+
+// TimeCursor returns a new cursor at time zero that publishes its advances
+// to the database's global clock.
+func (db *DB) TimeCursor() *TimeCursor {
+	return &TimeCursor{c: sim.NewCursor(db.clock)}
+}
+
+// Now returns the cursor's current virtual time.
+func (tc *TimeCursor) Now() sim.Time { return tc.c.Now() }
+
+// AdvanceTo moves the cursor forward to t (no-op when t is in the past).
+func (tc *TimeCursor) AdvanceTo(t sim.Time) { tc.c.AdvanceTo(t) }
+
+// Advance moves the cursor forward by d.
+func (tc *TimeCursor) Advance(d sim.Duration) { tc.c.Advance(d) }
 
 // ObjectStats returns the per-object I/O statistics collected so far, sorted
 // by I/O rate.
@@ -213,21 +232,35 @@ func (db *DB) ResetStatistics() {
 
 // ---- DDL ----
 
-// Exec parses and executes one or more DDL statements.
+// Exec parses and executes one or more DDL statements.  Failures are
+// reported as *DDLError carrying the offending statement's text, its byte
+// offset in sql, and — when attributable — the failing clause; the
+// underlying cause stays reachable through errors.Is/As.
 func (db *DB) Exec(sql string) error {
-	stmts, err := ddl.Parse(sql)
-	if err != nil {
+	if err := db.checkOpen(); err != nil {
 		return err
 	}
-	for _, st := range stmts {
-		if err := db.execStatement(st); err != nil {
-			return err
+	stmts, err := ddl.ParseAll(sql)
+	if err != nil {
+		return syntaxDDLErr(sql, err)
+	}
+	for i, st := range stmts {
+		end := len(sql)
+		if i+1 < len(stmts) {
+			end = stmts[i+1].Pos
+		}
+		text := strings.TrimRight(strings.TrimSpace(sql[st.Pos:end]), ";")
+		clause, err := db.execStatement(st.Stmt)
+		if err != nil {
+			return ddlErr(text, st.Pos, clause, err)
 		}
 	}
 	return nil
 }
 
-func (db *DB) execStatement(st ddl.Statement) error {
+// execStatement executes one parsed statement, returning the failing clause
+// name ("" when not attributable) alongside any error.
+func (db *DB) execStatement(st ddl.Statement) (string, error) {
 	switch s := st.(type) {
 	case ddl.CreateRegion:
 		spec := core.RegionSpec{
@@ -236,15 +269,14 @@ func (db *DB) execStatement(st ddl.Statement) error {
 			MaxChannels:  s.MaxChannels,
 			MaxSizeBytes: s.MaxSizeBytes,
 		}
-		gc, set, err := applyGCClause(db.space.Options().GC, s.GCPolicy, s.GCStepPages, s.HotCold)
+		gc, set, clause, err := applyGCClause(db.space.Options().GC, s.GCPolicy, s.GCStepPages, s.HotCold)
 		if err != nil {
-			return err
+			return clause, err
 		}
 		if set {
 			spec.GC = &gc
 		}
-		_, err = db.CreateRegion(spec)
-		return err
+		return "", db.CreateRegion(spec)
 	case ddl.AlterRegion:
 		return db.alterRegionGC(s)
 	case ddl.CreateTablespace:
@@ -255,55 +287,66 @@ func (db *DB) execStatement(st ddl.Statement) error {
 				extentPages = 1
 			}
 		}
-		return db.CreateTablespace(s.Name, s.Region, extentPages)
+		err := db.CreateTablespace(s.Name, s.Region, extentPages)
+		if err != nil && s.Region != "" && errors.Is(err, ErrNotFound) {
+			// The only not-found object a CREATE TABLESPACE can trip over is
+			// its REGION clause; other failures (e.g. a duplicate name) are
+			// not the clause's fault.
+			return "REGION", err
+		}
+		return "", err
 	case ddl.CreateTable:
 		cols := make([]catalog.Column, len(s.Columns))
 		for i, c := range s.Columns {
 			cols[i] = catalog.Column{Name: c.Name, Type: c.Type}
 		}
 		_, err := db.CreateTable(s.Name, s.Tablespace, cols)
-		return err
+		if err != nil && s.Tablespace != "" && errors.Is(err, ErrNotFound) {
+			return "TABLESPACE", err
+		}
+		return "", err
 	case ddl.CreateIndex:
 		_, err := db.CreateIndex(s.Name, s.Table, s.Columns, s.Unique, s.Tablespace)
-		return err
+		return "", err
 	case ddl.DropStatement:
-		return db.execDrop(s)
+		return s.Kind, db.execDrop(s)
 	default:
-		return fmt.Errorf("noftl: unsupported statement %T", st)
+		return "", fmt.Errorf("%w: statement %T", ErrUnsupported, st)
 	}
 }
 
 func (db *DB) execDrop(s ddl.DropStatement) error {
 	switch s.Kind {
 	case "REGION":
-		if err := db.cat.DropRegion(s.Name); err != nil {
-			return err
-		}
-		return db.space.DropRegion(s.Name)
+		return db.dropRegion(s.Name)
 	case "TABLE":
 		return db.DropTable(s.Name)
 	case "TABLESPACE":
-		return fmt.Errorf("noftl: DROP TABLESPACE is not supported (drop its tables first and recreate the database)")
+		return db.DropTablespace(s.Name)
 	case "INDEX":
-		return fmt.Errorf("noftl: DROP INDEX is not supported")
+		return db.DropIndex(s.Name)
 	default:
-		return fmt.Errorf("noftl: cannot drop %q", s.Kind)
+		return fmt.Errorf("%w: cannot drop %q", ErrUnsupported, s.Kind)
 	}
 }
 
 // applyGCClause folds a DDL GC clause (CREATE/ALTER REGION options) into a
-// base policy, reporting whether any option was actually set.
-func applyGCClause(base core.GCPolicy, policy string, stepPages int, hotCold string) (core.GCPolicy, bool, error) {
+// base policy, reporting whether any option was actually set and, on error,
+// which clause was at fault.
+func applyGCClause(base core.GCPolicy, policy string, stepPages int, hotCold string) (core.GCPolicy, bool, string, error) {
 	set := false
 	if policy != "" {
 		v, err := core.ParseVictimPolicy(policy)
 		if err != nil {
-			return base, false, err
+			return base, false, "GC_POLICY", err
 		}
 		base.Victim = v
 		set = true
 	}
-	if stepPages > 0 {
+	if stepPages != 0 {
+		if stepPages < 0 {
+			return base, false, "GC_STEP_PAGES", fmt.Errorf("noftl: GC_STEP_PAGES must be positive, got %d", stepPages)
+		}
 		base.StepPages = stepPages
 		set = true
 	}
@@ -316,41 +359,53 @@ func applyGCClause(base core.GCPolicy, policy string, stepPages int, hotCold str
 		base.DisableHotCold = true
 		set = true
 	default:
-		return base, false, fmt.Errorf("noftl: HOT_COLD must be ON or OFF, got %q", hotCold)
+		return base, false, "HOT_COLD", fmt.Errorf("noftl: HOT_COLD must be ON or OFF, got %q", hotCold)
 	}
-	return base, set, nil
+	return base, set, "", nil
 }
 
 // alterRegionGC executes ALTER REGION … SET: the space manager switches the
 // live policy and the catalog records it.
-func (db *DB) alterRegionGC(s ddl.AlterRegion) error {
+func (db *DB) alterRegionGC(s ddl.AlterRegion) (string, error) {
 	cur, ok := db.space.GCPolicyOf(s.Name)
 	if !ok {
-		return fmt.Errorf("%w: region %q", ErrNotFound, s.Name)
+		return "REGION", fmt.Errorf("%w: region %q", ErrNotFound, s.Name)
 	}
-	gc, set, err := applyGCClause(cur, s.GCPolicy, s.GCStepPages, s.HotCold)
+	gc, set, clause, err := applyGCClause(cur, s.GCPolicy, s.GCStepPages, s.HotCold)
 	if err != nil {
-		return err
+		return clause, err
 	}
 	if !set {
-		return nil
+		return "", nil
 	}
 	if err := db.space.SetGCPolicy(s.Name, gc); err != nil {
-		return err
+		return "", err
 	}
 	if s.Name == core.DefaultRegionName {
 		// The default region has no catalog entry; the live policy is all
 		// there is to update.
-		return nil
+		return "", nil
 	}
-	return db.cat.UpdateRegionGC(s.Name, gc)
+	return "", db.cat.UpdateRegionGC(s.Name, gc)
+}
+
+// dropRegion removes a region from both catalog and space manager (the DROP
+// REGION path; Admin().DropRegion is the programmatic form).
+func (db *DB) dropRegion(name string) error {
+	if err := db.cat.DropRegion(name); err != nil {
+		return publicErr(err)
+	}
+	return publicErr(db.space.DropRegion(name))
 }
 
 // CreateRegion creates a NoFTL region (programmatic form of CREATE REGION).
-func (db *DB) CreateRegion(spec core.RegionSpec) (*core.Region, error) {
+func (db *DB) CreateRegion(spec RegionSpec) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
 	r, err := db.space.CreateRegion(spec)
 	if err != nil {
-		return nil, err
+		return publicErr(err)
 	}
 	gc := db.space.Options().GC
 	if spec.GC != nil {
@@ -366,14 +421,17 @@ func (db *DB) CreateRegion(spec core.RegionSpec) (*core.Region, error) {
 	})
 	if err != nil {
 		_ = db.space.DropRegion(spec.Name)
-		return nil, err
+		return publicErr(err)
 	}
-	return r, nil
+	return nil
 }
 
 // CreateTablespace creates a tablespace bound to a region ("" or "DEFAULT"
 // means the default region).
 func (db *DB) CreateTablespace(name, region string, extentPages int) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
 	regionID := core.DefaultRegionID
 	regionName := core.DefaultRegionName
 	if region != "" && region != core.DefaultRegionName {
@@ -388,7 +446,7 @@ func (db *DB) CreateTablespace(name, region string, extentPages int) error {
 		extentPages = db.cfg.ExtentPages
 	}
 	if err := db.cat.AddTablespace(catalog.Tablespace{Name: name, Region: regionName, ExtentPages: extentPages}); err != nil {
-		return err
+		return publicErr(err)
 	}
 	db.mu.Lock()
 	db.tablespaces[name] = storage.NewTablespace(name, regionID, extentPages, db.space)
@@ -411,14 +469,17 @@ func (db *DB) tablespace(name string) (*storage.Tablespace, error) {
 }
 
 // CreateTable creates a table in the given tablespace ("" = SYSTEM).
-func (db *DB) CreateTable(name, tablespace string, columns []catalog.Column) (*Table, error) {
+func (db *DB) CreateTable(name, tablespace string, columns []Column) (*Table, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	ts, err := db.tablespace(tablespace)
 	if err != nil {
 		return nil, err
 	}
 	objID := db.cat.NextObjectID()
 	if err := db.cat.AddTable(catalog.Table{Name: name, ObjectID: objID, Tablespace: ts.Name(), Columns: columns}); err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	heap := storage.NewHeapFile(name, objID, ts, db.pool)
 	t := &Table{db: db, heap: heap, name: name, objectID: objID}
@@ -430,8 +491,12 @@ func (db *DB) CreateTable(name, tablespace string, columns []catalog.Column) (*T
 	return t, nil
 }
 
-// DropTable removes a table, its indexes, and trims their pages on flash.
+// DropTable removes a table, its indexes, and trims their pages on flash so
+// the garbage collector can reclaim the space.
 func (db *DB) DropTable(name string) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	t, ok := db.tables[name]
 	if !ok {
@@ -439,29 +504,87 @@ func (db *DB) DropTable(name string) error {
 		return fmt.Errorf("%w: table %q", ErrNotFound, name)
 	}
 	delete(db.tables, name)
+	delete(db.objectNames, t.objectID)
 	var droppedIndexes []*Index
 	for iname, idx := range db.indexes {
 		if idx.meta.Table == name {
 			droppedIndexes = append(droppedIndexes, idx)
 			delete(db.indexes, iname)
+			delete(db.objectNames, idx.meta.ObjectID)
 		}
 	}
 	db.mu.Unlock()
 	if err := db.cat.DropTable(name); err != nil {
-		return err
+		return publicErr(err)
 	}
-	// Trim the heap's pages so the space manager can reclaim them.
-	for _, lpn := range t.heap.Pages() {
+	// Trim the heap's and the indexes' pages so the space manager can
+	// reclaim them (never-flushed pages are simply unmapped).
+	db.trimPages(t.heap.Pages())
+	for _, idx := range droppedIndexes {
+		db.trimPages(idx.tree.PageList())
+	}
+	return nil
+}
+
+// trimPages drops the pages from the buffer pool and unmaps them in the
+// space manager.
+func (db *DB) trimPages(lpns []core.LPN) {
+	for _, lpn := range lpns {
 		db.pool.Drop(lpn)
 		_ = db.space.TrimPage(lpn) // never-flushed pages are simply unmapped
 	}
-	_ = droppedIndexes // index pages are trimmed lazily by GC reuse
+}
+
+// DropIndex removes an index and trims its pages on flash (the DROP INDEX
+// path).
+func (db *DB) DropIndex(name string) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	idx, ok := db.indexes[name]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: index %q", ErrNotFound, name)
+	}
+	delete(db.indexes, name)
+	delete(db.objectNames, idx.meta.ObjectID)
+	db.mu.Unlock()
+	if err := db.cat.DropIndex(name); err != nil {
+		return publicErr(err)
+	}
+	db.trimPages(idx.tree.PageList())
+	return nil
+}
+
+// DropTablespace removes an empty tablespace (the DROP TABLESPACE path).
+// Tablespaces still holding tables or indexes cannot be dropped
+// (ErrConflict); the SYSTEM tablespace can never be dropped
+// (ErrUnsupported).  The tablespace's trimmed pages were reclaimed when its
+// objects were dropped; any partially used extent tail is unmapped space the
+// garbage collector already treats as free.
+func (db *DB) DropTablespace(name string) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	if name == "" || name == "SYSTEM" {
+		return fmt.Errorf("%w: the SYSTEM tablespace cannot be dropped", ErrUnsupported)
+	}
+	if err := db.cat.DropTablespace(name); err != nil {
+		return publicErr(err)
+	}
+	db.mu.Lock()
+	delete(db.tablespaces, name)
+	db.mu.Unlock()
 	return nil
 }
 
 // CreateIndex creates a B+-tree index on a table in the given tablespace
 // ("" = the table's tablespace).
 func (db *DB) CreateIndex(name, table string, columns []string, unique bool, tablespace string) (*Index, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	db.mu.RLock()
 	_, ok := db.tables[table]
 	db.mu.RUnlock()
@@ -479,7 +602,7 @@ func (db *DB) CreateIndex(name, table string, columns []string, unique bool, tab
 	objID := db.cat.NextObjectID()
 	meta := catalog.Index{Name: name, ObjectID: objID, Table: table, Columns: columns, Unique: unique, Tablespace: ts.Name()}
 	if err := db.cat.AddIndex(meta); err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	tree, _, err := btreeNew(db.clock.Now(), name, objID, ts, db.pool)
 	if err != nil {
@@ -531,15 +654,64 @@ func (db *DB) BeginAt(now sim.Time) *Tx {
 	return &Tx{db: db, inner: db.txns.Begin(now)}
 }
 
+// Update runs fn inside a read-write transaction.  The transaction is
+// committed when fn returns nil (and no iteration error is pending on the
+// transaction, see Tx.Err) and aborted otherwise; a panic inside fn aborts
+// before re-panicking.
+func (db *DB) Update(fn func(*Tx) error) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	tx := db.Begin()
+	committing := false
+	// One abort site covers fn errors, pending iterator errors and panics.
+	defer func() {
+		if !committing {
+			tx.Abort()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if err := tx.Err(); err != nil {
+		return err
+	}
+	committing = true
+	_, err := tx.Commit()
+	return err
+}
+
+// View runs fn inside a read-only transaction.  The transaction is always
+// released at the end without forcing the log; fn's error (or a pending
+// iteration error) is returned.  View does not enforce read-only access —
+// it is a convention: use Update when fn modifies data.
+func (db *DB) View(fn func(*Tx) error) error {
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	tx := db.Begin()
+	defer tx.Abort()
+	if err := fn(tx); err != nil {
+		return err
+	}
+	return tx.Err()
+}
+
 // FlushAll writes every dirty buffered page to flash (checkpoint) and
 // returns the advanced virtual time.
 func (db *DB) FlushAll(now sim.Time) (sim.Time, error) {
+	if err := db.checkOpen(); err != nil {
+		return now, err
+	}
 	return db.pool.FlushAll(now)
 }
 
 // Checkpoint flushes all dirty pages, truncates the WAL up to the current
 // LSN and returns the advanced time.
 func (db *DB) Checkpoint(now sim.Time) (sim.Time, error) {
+	if err := db.checkOpen(); err != nil {
+		return now, err
+	}
 	done, err := db.pool.FlushAll(now)
 	if err != nil {
 		return done, err

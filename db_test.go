@@ -23,7 +23,7 @@ func smallConfig() Config {
 }
 
 func TestOpenCloseAndPaperDDL(t *testing.T) {
-	db, err := Open(smallConfig())
+	db, err := OpenConfig(smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,10 +39,10 @@ func TestOpenCloseAndPaperDDL(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The region exists in both catalog and space manager, with 4 dies.
-	if _, ok := db.Catalog().Region("rgHotTbl"); !ok {
+	if _, ok := db.cat.Region("rgHotTbl"); !ok {
 		t.Fatal("region missing from catalog")
 	}
-	st := db.SpaceManager().Stats()
+	st := db.Stats().Space
 	rs, ok := st.RegionByName("rgHotTbl")
 	if !ok || len(rs.Dies) != 4 {
 		t.Fatalf("region dies = %v", rs.Dies)
@@ -84,7 +84,7 @@ func TestOpenCloseAndPaperDDL(t *testing.T) {
 }
 
 func TestTransactionsTablesIndexes(t *testing.T) {
-	db, err := Open(smallConfig())
+	db, err := OpenConfig(smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestTransactionsTablesIndexes(t *testing.T) {
 
 func TestPlacementHintsReachRegions(t *testing.T) {
 	cfg := smallConfig()
-	db, err := Open(cfg)
+	db, err := OpenConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestPlacementHintsReachRegions(t *testing.T) {
 	if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
 		t.Fatal(err)
 	}
-	st := db.SpaceManager().Stats()
+	st := db.Stats().Space
 	hotStats, _ := st.RegionByName("rgHot")
 	coldStats, _ := st.RegionByName("rgCold")
 	if hotStats.HostWrites == 0 || coldStats.HostWrites == 0 {
@@ -263,7 +263,7 @@ func TestPlacementHintsReachRegions(t *testing.T) {
 		t.Fatalf("HOT object has no physical writes recorded: %+v", objs)
 	}
 	plan := db.Advise(AdvisorOptions{MaxRegions: 3})
-	if len(plan.Groups) == 0 || plan.TotalDies != db.Device().Geometry().Dies() {
+	if len(plan.Groups) == 0 || plan.TotalDies != db.Geometry().Dies() {
 		t.Fatalf("advisor plan: %+v", plan)
 	}
 }
@@ -271,7 +271,7 @@ func TestPlacementHintsReachRegions(t *testing.T) {
 func TestTraditionalModeDatabase(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Space.Mode = core.PlacementTraditional
-	db, err := Open(cfg)
+	db, err := OpenConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestTraditionalModeDatabase(t *testing.T) {
 	if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
 		t.Fatal(err)
 	}
-	st := db.SpaceManager().Stats()
+	st := db.Stats().Space
 	hotStats, _ := st.RegionByName("rgHot")
 	if hotStats.HostWrites != 0 {
 		t.Fatalf("traditional mode placed %d writes in the hinted region", hotStats.HostWrites)
@@ -304,7 +304,7 @@ func TestTraditionalModeDatabase(t *testing.T) {
 }
 
 func TestCheckpointAndDropTable(t *testing.T) {
-	db, err := Open(smallConfig())
+	db, err := OpenConfig(smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestCheckpointAndDropTable(t *testing.T) {
 	if _, err := db.Checkpoint(db.SimulatedTime()); err != nil {
 		t.Fatal(err)
 	}
-	validBefore := db.SpaceManager().Stats().ValidPages
+	validBefore := db.Stats().Space.ValidPages
 	if validBefore == 0 {
 		t.Fatal("checkpoint flushed nothing")
 	}
@@ -335,7 +335,7 @@ func TestCheckpointAndDropTable(t *testing.T) {
 	if _, ok := db.Table("TMP"); ok {
 		t.Fatal("table still visible after drop")
 	}
-	if db.SpaceManager().Stats().ValidPages >= validBefore {
+	if db.Stats().Space.ValidPages >= validBefore {
 		t.Fatal("drop did not trim pages")
 	}
 	if err := db.DropTable("TMP"); !errors.Is(err, ErrNotFound) {
@@ -351,7 +351,7 @@ func TestCheckpointAndDropTable(t *testing.T) {
 }
 
 func TestResetStatistics(t *testing.T) {
-	db, err := Open(smallConfig())
+	db, err := OpenConfig(smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +395,7 @@ func TestResetStatistics(t *testing.T) {
 }
 
 func TestExecRegionGCPolicyDDL(t *testing.T) {
-	db, err := Open(smallConfig())
+	db, err := OpenConfig(smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,11 +404,11 @@ func TestExecRegionGCPolicyDDL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gc, ok := db.SpaceManager().GCPolicyOf("rgHot")
+	gc, ok := db.Admin().GCPolicy("rgHot")
 	if !ok || gc.Victim != core.VictimCostBenefit || gc.StepPages != 4 || !gc.DisableHotCold {
 		t.Fatalf("CREATE REGION GC clause not applied: %+v", gc)
 	}
-	cr, ok := db.Catalog().Region("rgHot")
+	cr, ok := db.cat.Region("rgHot")
 	if !ok || cr.GC.Victim != core.VictimCostBenefit {
 		t.Fatalf("catalog missed the GC clause: %+v", cr.GC)
 	}
@@ -416,11 +416,11 @@ func TestExecRegionGCPolicyDDL(t *testing.T) {
 	if err := db.Exec(`ALTER REGION rgHot SET GC_POLICY=GREEDY, HOT_COLD=ON;`); err != nil {
 		t.Fatal(err)
 	}
-	gc, _ = db.SpaceManager().GCPolicyOf("rgHot")
+	gc, _ = db.Admin().GCPolicy("rgHot")
 	if gc.Victim != core.VictimGreedy || gc.DisableHotCold || gc.StepPages != 4 {
 		t.Fatalf("ALTER REGION not applied (StepPages must survive): %+v", gc)
 	}
-	cr, _ = db.Catalog().Region("rgHot")
+	cr, _ = db.cat.Region("rgHot")
 	if cr.GC.Victim != core.VictimGreedy {
 		t.Fatalf("catalog not updated: %+v", cr.GC)
 	}
@@ -428,7 +428,7 @@ func TestExecRegionGCPolicyDDL(t *testing.T) {
 	if err := db.Exec(`ALTER REGION DEFAULT SET GC_STEP_PAGES=2;`); err != nil {
 		t.Fatal(err)
 	}
-	gc, _ = db.SpaceManager().GCPolicyOf(core.DefaultRegionName)
+	gc, _ = db.Admin().GCPolicy(core.DefaultRegionName)
 	if gc.StepPages != 2 {
 		t.Fatalf("default region not altered: %+v", gc)
 	}

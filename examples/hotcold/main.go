@@ -31,7 +31,7 @@ func runWorkload(separate bool) noftl.Stats {
 	if !separate {
 		cfg.Space.Mode = noftl.PlacementTraditional
 	}
-	db, err := noftl.Open(cfg)
+	db, err := noftl.OpenConfig(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
-// Quickstart: open a database on simulated native flash, run the exact DDL
-// from §2 of the paper to create a region, a tablespace and a table, then
-// insert and query a few rows and print where they physically landed.
+// Quickstart: open a database on simulated native flash with functional
+// options, run the exact DDL from §2 of the paper to create a region, a
+// tablespace and a table, then insert and query rows through the batch-first
+// API and print where they physically landed.
 package main
 
 import (
@@ -11,7 +12,13 @@ import (
 )
 
 func main() {
-	db, err := noftl.Open(noftl.DefaultConfig())
+	// Open starts from DefaultConfig() and applies options in order.
+	// Read-ahead is opt-in: scans prefetch the next 4 sequential pages in
+	// the same die-striped scheduler batch as the demanded page.
+	db, err := noftl.Open(
+		noftl.WithBufferPoolPages(2048),
+		noftl.WithReadAhead(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,33 +39,49 @@ func main() {
 	tbl, _ := db.Table("T")
 	idx, _ := db.Index("T_IDX")
 
-	// Insert a few rows transactionally; the index maps t_id to the row.
-	tx := db.Begin()
-	for i := 1; i <= 100; i++ {
-		rid, err := tbl.Insert(tx, []byte(fmt.Sprintf("row %03d on native flash", i)))
+	// Insert 100 rows in one batch: the full pages go to flash as a single
+	// die-striped scheduler submission instead of page-at-a-time.
+	err = db.Update(func(tx *noftl.Tx) error {
+		rows := make([][]byte, 100)
+		for i := range rows {
+			rows[i] = []byte(fmt.Sprintf("row %03d on native flash", i+1))
+		}
+		rids, err := tbl.InsertBatch(tx, rows)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := idx.Insert(tx, noftl.Key(uint32(i)), rid); err != nil {
-			log.Fatal(err)
+		for i, rid := range rids {
+			if err := idx.Insert(tx, noftl.Key(uint32(i+1)), rid); err != nil {
+				return err
+			}
 		}
-	}
-	if _, err := tx.Commit(); err != nil {
-		log.Fatal(err)
-	}
-
-	// Point lookup through the index.
-	tx = db.Begin()
-	rid, found, err := idx.Lookup(tx, noftl.Key(42))
-	if err != nil || !found {
-		log.Fatalf("lookup failed: %v", err)
-	}
-	row, err := tbl.Get(tx, rid)
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("t_id=42 -> %q\n", row)
-	if _, err := tx.Commit(); err != nil {
+
+	// Point lookup through the index, and a range scan with the iterator
+	// API, inside a read-only closure.
+	err = db.View(func(tx *noftl.Tx) error {
+		rid, found, err := idx.Lookup(tx, noftl.Key(42))
+		if err != nil || !found {
+			return fmt.Errorf("lookup failed: %v", err)
+		}
+		row, err := tbl.Get(tx, rid)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("t_id=42 -> %q\n", row)
+
+		n := 0
+		for range idx.Range(tx, noftl.Key(10), noftl.Key(20)) {
+			n++
+		}
+		fmt.Printf("keys in [10,20): %d\n", n)
+		return tx.Err()
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -67,10 +90,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	for _, rs := range db.SpaceManager().Stats().Regions {
+	stats := db.Stats()
+	for _, rs := range stats.Space.Regions {
 		fmt.Printf("region %-10s dies=%v  host writes=%d  valid pages=%d\n",
 			rs.Name, rs.Dies, rs.HostWrites, rs.ValidPages)
 	}
 	fmt.Println()
-	fmt.Print(db.Stats().String())
+	fmt.Print(stats.String())
 }

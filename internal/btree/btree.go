@@ -58,13 +58,32 @@ type Tree struct {
 	height   int
 	entries  int64
 	pages    int64
+	lpns     []core.LPN // every page ever allocated to the tree, in order
+}
+
+// allocPage allocates a page from the tablespace and remembers it in the
+// tree's page list (used by DROP INDEX to trim the tree's pages on flash).
+// Caller holds t.mu (or is constructing the tree).
+func (t *Tree) allocPage() core.LPN {
+	lpn := t.ts.AllocatePage()
+	t.lpns = append(t.lpns, lpn)
+	return lpn
+}
+
+// PageList returns a copy of every page allocated to the tree.
+func (t *Tree) PageList() []core.LPN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]core.LPN, len(t.lpns))
+	copy(out, t.lpns)
+	return out
 }
 
 // New creates an empty tree for the object in the tablespace.  The root leaf
 // page is allocated immediately.
 func New(now sim.Time, name string, objectID uint32, ts *storage.Tablespace, pool *buffer.Pool) (*Tree, sim.Time, error) {
 	t := &Tree{name: name, objectID: objectID, ts: ts, pool: pool, height: 1}
-	lpn := ts.AllocatePage()
+	lpn := t.allocPage()
 	h, done, err := pool.NewPage(now, lpn, t.hint())
 	if err != nil {
 		return nil, done, err
@@ -377,7 +396,7 @@ func (t *Tree) Insert(now sim.Time, key, value []byte) (sim.Time, error) {
 	}
 	if newChild != 0 {
 		// Root split: create a new root with two children.
-		newRootLPN := t.ts.AllocatePage()
+		newRootLPN := t.allocPage()
 		h, d, err := t.pool.NewPage(now, newRootLPN, t.hint())
 		if err != nil {
 			return d, err
@@ -508,7 +527,7 @@ func (t *Tree) splitLeaf(now sim.Time, h *buffer.Handle, buf []byte, key, value 
 	all[pos] = kv{append([]byte(nil), key...), append([]byte(nil), value...)}
 
 	mid := len(all) / 2
-	rightLPN := t.ts.AllocatePage()
+	rightLPN := t.allocPage()
 	rh, done, err := t.pool.NewPage(now, rightLPN, t.hint())
 	if err != nil {
 		h.Unlock()
@@ -574,7 +593,7 @@ func (t *Tree) splitInternal(now sim.Time, h *buffer.Handle, buf []byte, childSe
 	mid := len(all) / 2
 	pushUp := all[mid]
 
-	rightLPN := t.ts.AllocatePage()
+	rightLPN := t.allocPage()
 	rh, done, err := t.pool.NewPage(now, rightLPN, t.hint())
 	if err != nil {
 		h.Unlock()

@@ -265,3 +265,62 @@ func TestPoolOptionsInertWithoutBatchBackend(t *testing.T) {
 		t.Errorf("batch features ran without a batch backend: %+v", st)
 	}
 }
+
+// TestFetchManyBatchesMissesAndSurvivesExhaustion covers the batched fetch
+// path: all misses of one call go to the backend as a single ReadPages
+// dispatch, and a call that exceeds the pool's frames fails cleanly — the
+// staged frames are unwound (no held latches, no published garbage) so the
+// same pages remain fetchable afterwards.
+func TestFetchManyBatchesMissesAndSurvivesExhaustion(t *testing.T) {
+	be := newMemBatchBackend(128)
+	be.seed(32)
+	p := New(be, 8, 128, nil)
+
+	// 6 distinct pages, one resident beforehand: one batch dispatch.
+	h0, _, err := p.Fetch(0, 3, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0.Release()
+	readsBefore := be.batchReads
+	lpns := []core.LPN{1, 2, 3, 4, 5, 6}
+	handles, _, err := p.FetchMany(0, lpns, core.Hint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		h.RLock()
+		if h.Data()[0] != byte(lpns[i]) {
+			t.Fatalf("page %d has wrong contents %d", lpns[i], h.Data()[0])
+		}
+		h.RUnlock()
+		h.Release()
+	}
+	if got := be.batchReads - readsBefore; got != 1 {
+		t.Fatalf("misses dispatched in %d batches, want 1", got)
+	}
+
+	// More distinct pages than frames: the call must fail with ErrPoolFull
+	// without leaking latched frames.
+	big := make([]core.LPN, 0, 12)
+	for i := 1; i <= 12; i++ {
+		big = append(big, core.LPN(i))
+	}
+	if _, _, err := p.FetchMany(0, big, core.Hint{}); err == nil {
+		t.Fatal("FetchMany over pool size succeeded")
+	}
+	// Every page is still individually fetchable (a leaked latch would
+	// deadlock here, a leaked pin would exhaust the pool).
+	for _, lpn := range big {
+		h, _, err := p.Fetch(0, lpn, core.Hint{})
+		if err != nil {
+			t.Fatalf("fetch %d after failed FetchMany: %v", lpn, err)
+		}
+		h.RLock()
+		if h.Data()[0] != byte(lpn) {
+			t.Fatalf("page %d corrupted after failed FetchMany", lpn)
+		}
+		h.RUnlock()
+		h.Release()
+	}
+}

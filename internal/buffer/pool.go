@@ -367,6 +367,177 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 	return &Handle{pool: p, frame: f, idx: idx}, demand.Done, nil
 }
 
+// FetchMany pins a set of pages, reading every non-resident page from the
+// backend in one die-striped scheduler batch.  The returned handles align
+// with lpns (duplicates receive independent pins on the same frame); the
+// returned time is the batch makespan plus any eviction write-back the frame
+// allocations caused.  On error no handles are retained.
+//
+// Without a batch backend the pages are fetched one at a time.
+func (p *Pool) FetchMany(now sim.Time, lpns []core.LPN, hint core.Hint) ([]*Handle, sim.Time, error) {
+	handles := make([]*Handle, len(lpns))
+	releaseAll := func() {
+		for _, h := range handles {
+			if h != nil {
+				h.Release()
+			}
+		}
+	}
+	if p.batch == nil {
+		for i, lpn := range lpns {
+			h, done, err := p.Fetch(now, lpn, hint)
+			if err != nil {
+				releaseAll()
+				return nil, done, err
+			}
+			handles[i] = h
+			now = done
+		}
+		return handles, now, nil
+	}
+
+	// Pin residents and allocate+publish frames for misses under one lock
+	// acquisition, then read all misses as a single batch.
+	type missFrame struct {
+		idx   int
+		frame *Frame
+	}
+	var misses []missFrame
+	p.mu.Lock()
+	for i, lpn := range lpns {
+		if idx, ok := p.table[lpn]; ok {
+			f := p.frames[idx]
+			f.pins++
+			f.ref = true
+			f.hint = hint
+			p.hits++
+			if f.prefetched {
+				f.prefetched = false
+				p.prefetchHits++
+			}
+			handles[i] = &Handle{pool: p, frame: f, idx: idx}
+			continue
+		}
+		p.misses++
+		idx, t, err := p.allocFrameLocked(now)
+		if err != nil {
+			// Unwind the misses staged so far: their frames are published
+			// with the content latch held but no data yet.  Unlatch and
+			// unpublish them before dropping every pin, or a later Fetch of
+			// those LPNs would block forever on the latch.
+			for _, m := range misses {
+				m.frame.mu.Unlock()
+				delete(p.table, m.frame.lpn)
+				m.frame.valid = false
+				m.frame.pins = 0
+				handles[m.idx] = nil
+			}
+			p.mu.Unlock()
+			releaseAll()
+			return nil, t, err
+		}
+		now = t
+		f := p.frames[idx]
+		f.lpn = lpn
+		f.hint = hint
+		f.valid = true
+		f.dirty.Store(false)
+		f.prefetched = false
+		f.pins = 1
+		f.ref = true
+		// Hold the content latch until the batch read lands, so a concurrent
+		// Fetch that hits the published frame blocks until the data is there.
+		f.mu.Lock()
+		p.table[lpn] = idx
+		handles[i] = &Handle{pool: p, frame: f, idx: idx}
+		misses = append(misses, missFrame{idx: i, frame: f})
+	}
+	p.mu.Unlock()
+
+	if len(misses) == 0 {
+		return handles, now, nil
+	}
+	missLPNs := make([]core.LPN, len(misses))
+	bufs := make([][]byte, len(misses))
+	for j, m := range misses {
+		missLPNs[j] = m.frame.lpn
+		bufs[j] = m.frame.data
+	}
+	reads, end := p.batch.ReadPages(now, missLPNs, bufs)
+	var firstErr error
+	for j, m := range misses {
+		m.frame.mu.Unlock()
+		if reads[j].Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("buffer: fetch lpn %d: %w", missLPNs[j], reads[j].Err)
+		}
+	}
+	if firstErr != nil {
+		releaseAll()
+		p.mu.Lock()
+		for _, m := range misses {
+			f := m.frame
+			if f.pins == 0 {
+				delete(p.table, f.lpn)
+				f.valid = false
+			}
+		}
+		p.mu.Unlock()
+		return nil, end, firstErr
+	}
+	if p.recorder != nil {
+		p.recorder.RecordPhysRead(hint.ObjectID, int64(len(misses)))
+	}
+	return handles, end, nil
+}
+
+// WriteThrough writes page images to the backend as one die-striped batch
+// without staging them in the pool (bulk-load path: the pages are complete
+// and cold, so buffering them would only push hotter pages out).  Resident
+// copies of the written pages, if any, are dropped.  Without a batch backend
+// the pages are written one at a time.
+func (p *Pool) WriteThrough(now sim.Time, writes []core.PageWrite) (sim.Time, error) {
+	if len(writes) == 0 {
+		return now, nil
+	}
+	var done sim.Time
+	var err error
+	if p.batch != nil {
+		done, err = p.batch.WritePages(now, writes)
+	} else {
+		done = now
+		for _, w := range writes {
+			done, err = p.backend.WritePage(done, w.LPN, w.Data, w.Hint)
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return now, err
+	}
+	p.mu.Lock()
+	for _, w := range writes {
+		if idx, ok := p.table[w.LPN]; ok {
+			f := p.frames[idx]
+			if f.pins == 0 {
+				delete(p.table, w.LPN)
+				f.valid = false
+				f.dirty.Store(false)
+				f.prefetched = false
+			}
+		}
+		p.writebacks++
+		if p.recorder != nil {
+			p.recorder.RecordPhysWrite(w.Hint.ObjectID, 1)
+		}
+	}
+	if p.batch != nil {
+		p.groupFlushes++
+	}
+	p.mu.Unlock()
+	return done, nil
+}
+
 // stagePrefetchLocked allocates and publishes frames for the mapped,
 // non-resident pages sequentially following lpn, returning them with their
 // content latches held.  Caller holds p.mu; the returned time includes any

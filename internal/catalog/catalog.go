@@ -177,6 +177,27 @@ func (c *Catalog) Tablespace(name string) (Tablespace, bool) {
 	return *ts, true
 }
 
+// DropTablespace removes a tablespace that no table or index uses.
+func (c *Catalog) DropTablespace(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tablespaces[name]; !ok {
+		return fmt.Errorf("%w: tablespace %q", ErrNotFound, name)
+	}
+	for _, t := range c.tables {
+		if t.Tablespace == name {
+			return fmt.Errorf("%w: tablespace %q used by table %q", ErrInUse, name, t.Name)
+		}
+	}
+	for _, i := range c.indexes {
+		if i.Tablespace == name {
+			return fmt.Errorf("%w: tablespace %q used by index %q", ErrInUse, name, i.Name)
+		}
+	}
+	delete(c.tablespaces, name)
+	return nil
+}
+
 // AddTable registers a table.
 func (c *Catalog) AddTable(t Table) error {
 	c.mu.Lock()
@@ -236,6 +257,17 @@ func (c *Catalog) AddIndex(i Index) error {
 		}
 	}
 	c.indexes[i.Name] = &i
+	return nil
+}
+
+// DropIndex removes an index.
+func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[name]; !ok {
+		return fmt.Errorf("%w: index %q", ErrNotFound, name)
+	}
+	delete(c.indexes, name)
 	return nil
 }
 

@@ -10,6 +10,23 @@ import (
 // ErrSyntax reports a DDL statement the parser cannot understand.
 var ErrSyntax = errors.New("ddl: syntax error")
 
+// SyntaxError is the structured form of a parse failure.  It wraps ErrSyntax
+// (so errors.Is(err, ErrSyntax) keeps working) and records where in the input
+// the parser gave up.
+type SyntaxError struct {
+	// Pos is the byte offset in the parsed input.
+	Pos int
+	// Msg describes what the parser expected.
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("ddl: syntax error: %s (near position %d)", e.Msg, e.Pos)
+}
+
+// Unwrap makes errors.Is(err, ErrSyntax) true.
+func (e *SyntaxError) Unwrap() error { return ErrSyntax }
+
 // ColumnDef is one column of a CREATE TABLE statement.
 type ColumnDef struct {
 	Name string
@@ -87,25 +104,49 @@ type parser struct {
 	pos  int
 }
 
+// Parsed pairs a statement with its location in the original input, so
+// callers can report which statement of a multi-statement script failed.
+type Parsed struct {
+	// Stmt is the parsed statement.
+	Stmt Statement
+	// Pos is the byte offset of the statement's first token in the input.
+	Pos int
+}
+
 // Parse parses one or more semicolon-separated DDL statements.
 func Parse(input string) ([]Statement, error) {
+	parsed, err := ParseAll(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Statement, len(parsed))
+	for i, ps := range parsed {
+		out[i] = ps.Stmt
+	}
+	return out, nil
+}
+
+// ParseAll parses one or more semicolon-separated DDL statements, reporting
+// each statement's byte offset in the input alongside it.
+func ParseAll(input string) ([]Parsed, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	var out []Statement
+	var out []Parsed
 	for {
 		for p.acceptPunct(";") {
 		}
 		if p.peek().kind == tokEOF {
 			break
 		}
+		start := p.peek().pos
 		st, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, st)
+		out = append(out, Parsed{Stmt: st, Pos: start})
 		if !p.acceptPunct(";") && p.peek().kind != tokEOF {
 			return nil, p.errorf("expected ';' after statement")
 		}
@@ -136,7 +177,7 @@ func (p *parser) next() token {
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("%w: %s (near position %d)", ErrSyntax, fmt.Sprintf(format, args...), p.peek().pos)
+	return &SyntaxError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) acceptKeyword(kw string) bool {

@@ -118,6 +118,13 @@ func TPCCSetup(scale Scale) Setup {
 	dbCfg := noftl.DefaultConfig()
 	dbCfg.Flash.Geometry = geo
 	dbCfg.BufferPoolPages = pool
+	// TPC-C terminals take locks in canonical order, so real deadlocks
+	// cannot form; the lock-wait timeout is purely a safety net.  It runs on
+	// wall-clock time, so keep it far above any scheduling delay a loaded
+	// machine (e.g. the parallel `go test ./...` CI run) can introduce —
+	// spurious timeouts abort transactions and perturb the measured
+	// virtual-time throughput.
+	dbCfg.LockTimeout = 60 * time.Second
 	return Setup{DB: dbCfg, TPCC: workload}
 }
 
@@ -137,7 +144,7 @@ func RunTPCC(scale Scale, placement tpcc.PlacementKind) (tpcc.Results, error) {
 	// much of that interference for either placement) is evaluated
 	// separately in ablation A6.
 	setup.DB.Space.DisableBackgroundGC = true
-	db, err := noftl.Open(setup.DB)
+	db, err := noftl.OpenConfig(setup.DB)
 	if err != nil {
 		return tpcc.Results{}, err
 	}
@@ -241,7 +248,7 @@ func RunFigure2(scale Scale) (Figure2, error) {
 	setup := TPCCSetup(scale)
 	setup.TPCC.Placement = tpcc.PlacementTraditional
 	setup.DB.Space.DisableBackgroundGC = true // the paper's foreground-GC regime
-	db, err := noftl.Open(setup.DB)
+	db, err := noftl.OpenConfig(setup.DB)
 	if err != nil {
 		return Figure2{}, err
 	}

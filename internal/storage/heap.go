@@ -112,6 +112,210 @@ func (h *HeapFile) Insert(now sim.Time, rec []byte) (RID, sim.Time, error) {
 	return RID{LPN: uint64(newLPN), Slot: slot}, done, nil
 }
 
+// InsertBatch appends a batch of records, returning one RID per record in
+// order.  The tail page is filled first through the buffer pool; the
+// remaining records are packed into fresh page images which are written to
+// flash as one die-striped batch (a single scheduler submission however many
+// pages the batch spans).  The final, partially filled page stays resident in
+// the pool so subsequent inserts keep filling it.
+//
+// On error the records already applied are returned alongside it (the heap
+// stays consistent; the caller decides whether to abort).  A record too
+// large for an empty page fails the whole batch up front, before anything is
+// applied.
+func (h *HeapFile) InsertBatch(now sim.Time, recs [][]byte) ([]RID, sim.Time, error) {
+	rids := make([]RID, 0, len(recs))
+	if len(recs) == 0 {
+		return rids, now, nil
+	}
+	// Validate before mutating anything: every record must fit an empty page.
+	pageSize := h.pool.PageSize()
+	maxRec := pageSize - PageHeaderSize - slotSize
+	for _, rec := range recs {
+		if len(rec) > maxRec {
+			return nil, now, fmt.Errorf("heap %s: batch insert: %w (%d bytes, max %d)",
+				h.name, ErrRecordTooLarge, len(rec), maxRec)
+		}
+	}
+
+	// Phase 1: fill whatever room the current tail page has, fetching it once
+	// for the whole batch instead of once per record.
+	h.mu.Lock()
+	tail := h.lastPage
+	h.mu.Unlock()
+	next := 0
+	if tail != 0 {
+		handle, done, err := h.pool.Fetch(now, tail, h.hint())
+		if err != nil {
+			return nil, done, err
+		}
+		now = done
+		handle.Lock()
+		inserted := 0
+		for next < len(recs) {
+			slot, err := InsertRecord(handle.Data(), recs[next])
+			if err != nil {
+				if errors.Is(err, ErrPageFull) || errors.Is(err, ErrRecordTooLarge) {
+					break
+				}
+				handle.Unlock()
+				handle.Release()
+				return rids, now, err
+			}
+			rids = append(rids, RID{LPN: uint64(tail), Slot: slot})
+			next++
+			inserted++
+		}
+		if inserted > 0 {
+			handle.MarkDirty()
+		}
+		handle.Unlock()
+		handle.Release()
+		h.mu.Lock()
+		h.records += int64(inserted)
+		h.mu.Unlock()
+	}
+	if next >= len(recs) {
+		return rids, now, nil
+	}
+
+	// Phase 2: pack the remaining records into fresh page images.  Full pages
+	// are collected for one write-through batch; the last (partial) page is
+	// kept in the pool as the new tail.  The heap's page list and tail are
+	// only updated once the pages are materialized, so a failure here cannot
+	// leave the heap pointing at pages that were never written.
+	var full []core.PageWrite
+	var fullRIDs [][]RID // parallel to full: the RIDs packed into each page
+	var newPages []core.LPN
+	cur := []byte(nil)
+	var curLPN core.LPN
+	var curRIDs []RID
+	openPage := func() {
+		curLPN = h.ts.AllocatePage()
+		newPages = append(newPages, curLPN)
+		cur = make([]byte, pageSize)
+		InitPage(cur, PageTypeHeap, h.objectID, uint64(curLPN))
+		curRIDs = curRIDs[:0]
+	}
+	openPage()
+	for next < len(recs) {
+		rec := recs[next]
+		slot, err := InsertRecord(cur, rec)
+		if err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				return rids, now, fmt.Errorf("heap %s: batch insert: %w", h.name, err)
+			}
+			// Page full: seal it into the write batch and open the next one.
+			// The up-front size check guarantees progress on a fresh page.
+			full = append(full, core.PageWrite{LPN: curLPN, Data: cur, Hint: h.hint()})
+			fullRIDs = append(fullRIDs, append([]RID(nil), curRIDs...))
+			openPage()
+			continue
+		}
+		curRIDs = append(curRIDs, RID{LPN: uint64(curLPN), Slot: slot})
+		next++
+	}
+
+	// Write the sealed pages as one batch; they stripe over the region's dies.
+	if len(full) > 0 {
+		done, err := h.pool.WriteThrough(now, full)
+		if err != nil {
+			return rids, now, err
+		}
+		now = done
+	}
+
+	// Park the partial tail page in the pool so future inserts fill it.
+	if len(curRIDs) > 0 {
+		handle, done, err := h.pool.NewPage(now, curLPN, h.hint())
+		if err != nil {
+			// The sealed pages are durable: adopt them (without the dead
+			// tail LPN) before reporting the failure.
+			sealed := 0
+			for _, pr := range fullRIDs {
+				rids = append(rids, pr...)
+				sealed += len(pr)
+			}
+			h.adoptPages(newPages[:len(newPages)-1], int64(sealed))
+			return rids, done, err
+		}
+		now = done
+		handle.Lock()
+		copy(handle.Data(), cur)
+		handle.MarkDirty()
+		handle.Unlock()
+		handle.Release()
+	} else {
+		newPages = newPages[:len(newPages)-1] // the empty tail was never used
+	}
+
+	packed := 0
+	for _, pr := range fullRIDs {
+		rids = append(rids, pr...)
+		packed += len(pr)
+	}
+	rids = append(rids, curRIDs...)
+	packed += len(curRIDs)
+	h.adoptPages(newPages, int64(packed))
+	return rids, now, nil
+}
+
+// adoptPages appends materialized pages to the heap's page list, points the
+// tail at the last one and accounts the packed records.
+func (h *HeapFile) adoptPages(lpns []core.LPN, records int64) {
+	if len(lpns) == 0 && records == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.pages = append(h.pages, lpns...)
+	if len(lpns) > 0 {
+		h.lastPage = lpns[len(lpns)-1]
+	}
+	h.records += records
+	h.mu.Unlock()
+}
+
+// GetBatch returns copies of the records identified by rids, in order.  The
+// pages involved are fetched through the buffer pool's batched path, so cold
+// pages on different dies are read concurrently in virtual time.
+func (h *HeapFile) GetBatch(now sim.Time, rids []RID) ([][]byte, sim.Time, error) {
+	out := make([][]byte, len(rids))
+	if len(rids) == 0 {
+		return out, now, nil
+	}
+	// One fetch per distinct page, preserving first-use order.
+	lpns := make([]core.LPN, 0, len(rids))
+	pageOf := make(map[core.LPN]int, len(rids))
+	for _, rid := range rids {
+		lpn := core.LPN(rid.LPN)
+		if _, ok := pageOf[lpn]; !ok {
+			pageOf[lpn] = len(lpns)
+			lpns = append(lpns, lpn)
+		}
+	}
+	handles, done, err := h.pool.FetchMany(now, lpns, h.hint())
+	if err != nil {
+		return nil, done, err
+	}
+	now = done
+	defer func() {
+		for _, hd := range handles {
+			hd.Release()
+		}
+	}()
+	for i, rid := range rids {
+		hd := handles[pageOf[core.LPN(rid.LPN)]]
+		hd.RLock()
+		rec, rerr := ReadRecord(hd.Data(), rid.Slot)
+		hd.RUnlock()
+		if rerr != nil {
+			return nil, now, fmt.Errorf("heap %s: %w (%v)", h.name, ErrNotFound, rerr)
+		}
+		out[i] = rec
+	}
+	return out, now, nil
+}
+
 // tryInsertInto attempts an insert into a specific page; ok is false when the
 // page has no room.
 func (h *HeapFile) tryInsertInto(now sim.Time, lpn core.LPN, rec []byte) (RID, sim.Time, bool, error) {

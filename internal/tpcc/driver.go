@@ -110,7 +110,7 @@ func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 				wID: termID%cfg.Warehouses + 1,
 				dID: termID%cfg.DistrictsPerWarehouse + 1,
 			}
-			cursor := sim.NewCursor(db.Clock())
+			cursor := db.TimeCursor()
 			for claim(cursor.Now()) {
 				typ := t.pickType()
 				tx := db.BeginAt(cursor.Now())

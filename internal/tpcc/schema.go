@@ -75,7 +75,7 @@ func tableColumns(names ...string) string {
 func Setup(db *noftl.DB, cfg Config) (*Schema, error) {
 	cfg = cfg.withDefaults()
 	placement := map[string]string{} // object -> tablespace
-	totalDies := db.Device().Geometry().Dies()
+	totalDies := db.Geometry().Dies()
 
 	switch cfg.Placement {
 	case PlacementTraditional:
@@ -95,13 +95,13 @@ func Setup(db *noftl.DB, cfg Config) (*Schema, error) {
 		// footprint of each group for this configuration's scale, at least
 		// one die per group.  Group 0 keeps its dies as the (shrunken)
 		// default region, which also holds the catalog and the WAL.
-		dies := planRegionDies(cfg, totalDies, db.Device().Geometry().PagesPerDie())
+		dies := planRegionDies(cfg, totalDies, db.Geometry().PagesPerDie())
 		if dies == nil {
 			return nil, fmt.Errorf("tpcc: device has too few dies (%d) for the multi-region configuration", totalDies)
 		}
 		for gi := 1; gi < len(groups); gi++ {
 			g := groups[gi]
-			if _, err := db.CreateRegion(core.RegionSpec{Name: g.Region, MaxChips: dies[gi]}); err != nil {
+			if err := db.CreateRegion(core.RegionSpec{Name: g.Region, MaxChips: dies[gi]}); err != nil {
 				return nil, fmt.Errorf("tpcc: create region %s (%d dies): %w", g.Region, dies[gi], err)
 			}
 			tsName := "ts" + g.Region[2:]

@@ -17,7 +17,7 @@ func testDB(t *testing.T, placement PlacementKind) *noftl.DB {
 		BlocksPerDie: 128, PagesPerBlock: 32, PageSize: 2048,
 	}
 	cfg.BufferPoolPages = 256
-	db, err := noftl.Open(cfg)
+	db, err := noftl.OpenConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestSetupCreatesSchemaTraditional(t *testing.T) {
 		}
 	}
 	// Traditional placement creates no extra regions.
-	if got := len(db.SpaceManager().Stats().Regions); got != 1 {
+	if got := len(db.Stats().Space.Regions); got != 1 {
 		t.Fatalf("traditional placement created %d regions", got)
 	}
 }
@@ -189,7 +189,7 @@ func TestSetupCreatesSchemaRegions(t *testing.T) {
 	if _, err := Setup(db, cfg); err != nil {
 		t.Fatal(err)
 	}
-	st := db.SpaceManager().Stats()
+	st := db.Stats().Space
 	// Default region plus the five named regions of Figure 2 (group 0 stays
 	// in the default region).
 	if len(st.Regions) != 6 {
@@ -202,8 +202,8 @@ func TestSetupCreatesSchemaRegions(t *testing.T) {
 		}
 		totalDies += len(r.Dies)
 	}
-	if totalDies != db.Device().Geometry().Dies() {
-		t.Fatalf("dies distributed = %d, want %d", totalDies, db.Device().Geometry().Dies())
+	if totalDies != db.Geometry().Dies() {
+		t.Fatalf("dies distributed = %d, want %d", totalDies, db.Geometry().Dies())
 	}
 	// The biggest region must be the STOCK/OL_IDX one, as in Figure 2.
 	stock, ok := st.RegionByName("rgStock")
@@ -271,7 +271,7 @@ func TestLoadPopulatesDatabase(t *testing.T) {
 		t.Fatalf("stock index entries: %d", sch.SIdx.Entries())
 	}
 	// The load reached flash (checkpoint at the end of Load).
-	if db.SpaceManager().Stats().ValidPages == 0 {
+	if db.Stats().Space.ValidPages == 0 {
 		t.Fatal("load never reached flash")
 	}
 }

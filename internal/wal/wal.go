@@ -224,6 +224,11 @@ func (l *Log) Append(typ RecordType, txnID uint64, objectID uint32, payload []by
 
 // Flush forces every appended record to the device (sealed full pages plus
 // the current partial page) and returns the caller's advanced virtual time.
+//
+// The log is deliberately written page-at-a-time rather than as one
+// die-striped batch: the WAL is an append stream confined to its (often
+// small) metadata region, and its flush cadence is part of the measured
+// foreground-GC interference the paper's experiments compare.
 func (l *Log) Flush(now sim.Time) (sim.Time, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -50,7 +50,7 @@ func loadRows(t *testing.T, db *noftl.DB, n int) *noftl.Table {
 func TestDBSequentialScanReadAhead(t *testing.T) {
 	cfg := integrationConfig()
 	cfg.ReadAheadPages = 8
-	db, err := noftl.Open(cfg)
+	db, err := noftl.OpenConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +94,10 @@ func TestDBSequentialScanReadAhead(t *testing.T) {
 	if st.Buffer.Misses >= pages/2 {
 		t.Errorf("scan missed %d times over %d pages: read-ahead ineffective", st.Buffer.Misses, pages)
 	}
-	vals := db.SchedulerMetrics().CounterValues()
-	if vals["iosched.requests.host_read"] == 0 {
+	if st.Scheduler.HostReads == 0 {
 		t.Error("scheduler saw no host-read requests")
 	}
-	if vals["iosched.batches"] == 0 {
+	if st.Scheduler.Batches == 0 {
 		t.Error("scheduler dispatched no batches")
 	}
 }
@@ -111,7 +110,7 @@ func TestDBGroupWriteBackFasterThanSerial(t *testing.T) {
 		cfg := integrationConfig()
 		cfg.BufferPoolPages = 512 // hold the whole working set: no evictions
 		cfg.DisableGroupWriteBack = disable
-		db, err := noftl.Open(cfg)
+		db, err := noftl.OpenConfig(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,58 @@
+package noftl
+
+import (
+	"iter"
+)
+
+// Rows returns an iterator over every live row of the table, in page order:
+//
+//	for rid, row := range tbl.Rows(tx) {
+//	    ...
+//	}
+//
+// Breaking out of the loop stops the scan.  A scan failure ends the
+// iteration early and is recorded on the transaction (Tx.Err); db.Update
+// refuses to commit while such an error is pending.
+func (t *Table) Rows(tx *Tx) iter.Seq2[RID, []byte] {
+	return func(yield func(RID, []byte) bool) {
+		err := t.Scan(tx, func(rid RID, row []byte) bool {
+			return yield(rid, row)
+		})
+		if err != nil && tx.iterErr == nil {
+			tx.iterErr = err
+		}
+	}
+}
+
+// Range returns an iterator over the index entries with lo <= key < hi (nil
+// hi means to the end of the index):
+//
+//	for key, rid := range idx.Range(tx, lo, hi) {
+//	    ...
+//	}
+//
+// Breaking out of the loop stops the scan.  A scan failure ends the
+// iteration early and is recorded on the transaction (Tx.Err).
+func (i *Index) Range(tx *Tx, lo, hi []byte) iter.Seq2[[]byte, RID] {
+	return func(yield func([]byte, RID) bool) {
+		err := i.Scan(tx, lo, hi, func(key []byte, rid RID) bool {
+			return yield(key, rid)
+		})
+		if err != nil && tx.iterErr == nil {
+			tx.iterErr = err
+		}
+	}
+}
+
+// Prefix returns an iterator over every index entry whose key begins with
+// prefix (the iterator form of ScanPrefix).
+func (i *Index) Prefix(tx *Tx, prefix []byte) iter.Seq2[[]byte, RID] {
+	return func(yield func([]byte, RID) bool) {
+		err := i.ScanPrefix(tx, prefix, func(key []byte, rid RID) bool {
+			return yield(key, rid)
+		})
+		if err != nil && tx.iterErr == nil {
+			tx.iterErr = err
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"noftl/internal/metrics"
 )
 
-// Stats is a snapshot of the whole stack: transactions, buffer pool, NoFTL
-// space manager and flash device.  All counters are cumulative since the
-// last ResetStatistics call.
+// Stats is an immutable snapshot of the whole stack: transactions, buffer
+// pool, I/O scheduler, NoFTL space manager (with per-region GC counters),
+// flash device, WAL and per-object I/O counters.  All counters are
+// cumulative since the last ResetStatistics call.  It replaces the former
+// live-pointer accessors (SpaceManager(), SchedulerMetrics(), ...).
 type Stats struct {
 	// Simulated is the simulated wall-clock time covered by the counters.
 	Simulated time.Duration
@@ -22,13 +24,57 @@ type Stats struct {
 	TxnAborted   int64
 	// Buffer pool
 	Buffer buffer.Stats
+	// Scheduler covers the asynchronous I/O scheduler between the space
+	// manager and the device.
+	Scheduler SchedulerStats
 	// NoFTL space manager (per region + totals)
 	Space SpaceStats
 	// Flash device
 	Device flash.Stats
+	// WAL covers the write-ahead log (zero value when WAL is disabled).
+	WAL WALStats
+	// Objects holds the per-object physical I/O counters consumed by the
+	// Region Advisor, sorted by I/O rate.
+	Objects []ObjectCounters
 	// Host I/O latencies aggregated over all regions
 	ReadLatency  metrics.Snapshot
 	WriteLatency metrics.Snapshot
+}
+
+// ObjectCounters re-exports the per-object I/O statistics record.
+type ObjectCounters = metrics.ObjectCounters
+
+// SchedulerStats is a snapshot of the I/O scheduler's counters.
+type SchedulerStats struct {
+	// Batches counts scheduler submissions (one Submit/Flush dispatch,
+	// covering one or more requests).
+	Batches int64
+	// Requests counts individual flash commands dispatched.
+	Requests int64
+	// MaxBatch is the largest batch dispatched so far.
+	MaxBatch int64
+	// MaxQueueDepth is the deepest the async queue has been.
+	MaxQueueDepth int64
+	// HostReads, HostWrites and GC count requests per priority class.
+	HostReads  int64
+	HostWrites int64
+	GC         int64
+	// GCSteps and GCStalls count bounded background GC steps and foreground
+	// (blocking) collections.
+	GCSteps  int64
+	GCStalls int64
+}
+
+// WALStats is a snapshot of the write-ahead log's counters.
+type WALStats struct {
+	// Appended is the number of records appended.
+	Appended int64
+	// Flushes is the number of flushes that wrote pages.
+	Flushes int64
+	// Pages is the number of log pages allocated.
+	Pages int64
+	// FlushedLSN is the highest durable log sequence number.
+	FlushedLSN uint64
 }
 
 // TPS returns committed transactions per simulated second.
@@ -53,6 +99,8 @@ func (s Stats) String() string {
 		s.Buffer.HitRatio(), s.Buffer.Misses, s.Buffer.Writebacks)
 	fmt.Fprintf(&b, "host I/O:       reads=%d (mean %v) writes=%d (mean %v)\n",
 		s.ReadLatency.Count, s.ReadLatency.Mean, s.WriteLatency.Count, s.WriteLatency.Mean)
+	fmt.Fprintf(&b, "scheduler:      submissions=%d requests=%d max batch=%d\n",
+		s.Scheduler.Batches, s.Scheduler.Requests, s.Scheduler.MaxBatch)
 	fmt.Fprintf(&b, "flash GC:       copybacks=%d erases=%d WA=%.2f\n",
 		s.Space.GCCopybacks, s.Space.GCErases, s.WriteAmplification())
 	for _, r := range s.Space.Regions {
@@ -65,15 +113,43 @@ func (s Stats) String() string {
 func (db *DB) Stats() Stats {
 	space := db.space.Stats()
 	read, write := space.LatencySnapshot()
-	return Stats{
+	st := Stats{
 		Simulated:    time.Duration(db.clock.Now()),
 		TxnStarted:   db.txns.Started(),
 		TxnCommitted: db.txns.Committed(),
 		TxnAborted:   db.txns.Aborted(),
 		Buffer:       db.pool.Stats(),
+		Scheduler:    db.schedulerStats(),
 		Space:        space,
 		Device:       db.dev.Stats(),
+		Objects:      db.ObjectStats(),
 		ReadLatency:  read,
 		WriteLatency: write,
+	}
+	if db.log != nil {
+		st.WAL = WALStats{
+			Appended:   db.log.Appended(),
+			Flushes:    db.log.Flushes(),
+			Pages:      int64(db.log.PageCount()),
+			FlushedLSN: db.log.FlushedLSN(),
+		}
+	}
+	return st
+}
+
+// schedulerStats snapshots the I/O scheduler's metric set.
+func (db *DB) schedulerStats() SchedulerStats {
+	set := db.space.Scheduler().Metrics()
+	c := set.CounterValues()
+	return SchedulerStats{
+		Batches:       c["iosched.batches"],
+		Requests:      c["iosched.requests"],
+		MaxBatch:      set.Gauge("iosched.max_batch_size").Value(),
+		MaxQueueDepth: set.Gauge("iosched.max_queue_depth").Value(),
+		HostReads:     c["iosched.requests.host_read"],
+		HostWrites:    c["iosched.requests.host_write"],
+		GC:            c["iosched.requests.gc"],
+		GCSteps:       c["iosched.gc_steps"],
+		GCStalls:      c["iosched.gc_watermark_stalls"],
 	}
 }

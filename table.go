@@ -14,6 +14,14 @@ import (
 // RID re-exports the storage record identifier.
 type RID = storage.RID
 
+// Time is a point in simulated time (nanoseconds since the start of the
+// simulation).
+type Time = sim.Time
+
+// Duration is a span of simulated time; it converts one-to-one with
+// time.Duration.
+type Duration = sim.Duration
+
 // LockMode re-exports the lock modes for Tx.Lock.
 type LockMode = txn.LockMode
 
@@ -31,9 +39,16 @@ func btreeNew(now sim.Time, name string, objectID uint32, ts *storage.Tablespace
 
 // Tx is a transaction handle.  It is owned by a single goroutine.
 type Tx struct {
-	db    *DB
-	inner *txn.Txn
+	db      *DB
+	inner   *txn.Txn
+	iterErr error // first error hit inside a Rows/Range iteration
 }
+
+// Err returns the first error encountered inside an iterator (Table.Rows,
+// Index.Range) driven by this transaction, or nil.  Go's range-over-func
+// iterators cannot yield an error, so scans record it here; db.Update
+// refuses to commit while it is set.
+func (tx *Tx) Err() error { return tx.iterErr }
 
 // ID returns the transaction id.
 func (tx *Tx) ID() uint64 { return tx.inner.ID() }
@@ -44,15 +59,19 @@ func (tx *Tx) Now() sim.Time { return tx.inner.Now() }
 // ResponseTime returns the virtual time elapsed since Begin.
 func (tx *Tx) ResponseTime() sim.Duration { return tx.inner.ResponseTime() }
 
-// Lock acquires a logical lock (e.g. "DISTRICT:1:3") in the given mode.
-func (tx *Tx) Lock(key string, mode LockMode) error { return tx.inner.Lock(key, mode) }
+// Lock acquires a logical lock (e.g. "DISTRICT:1:3") in the given mode.  A
+// lock-wait timeout (deadlock victim) is reported as ErrConflict.
+func (tx *Tx) Lock(key string, mode LockMode) error { return publicErr(tx.inner.Lock(key, mode)) }
 
 // Charge adds CPU time to the transaction.
 func (tx *Tx) Charge(d sim.Duration) { tx.inner.Charge(d) }
 
 // Commit commits the transaction, forcing the WAL, and returns its final
 // virtual time.
-func (tx *Tx) Commit() (sim.Time, error) { return tx.inner.Commit() }
+func (tx *Tx) Commit() (sim.Time, error) {
+	done, err := tx.inner.Commit()
+	return done, publicErr(err)
+}
 
 // Abort aborts the transaction.
 func (tx *Tx) Abort() sim.Time { return tx.inner.Abort() }
@@ -92,12 +111,13 @@ func (t *Table) Insert(tx *Tx, row []byte) (RID, error) {
 	return rid, nil
 }
 
-// Get returns the row stored under rid.
+// Get returns the row stored under rid.  An unknown or deleted record is
+// reported as ErrNotFound.
 func (t *Table) Get(tx *Tx, rid RID) ([]byte, error) {
 	tx.chargeOp()
 	row, done, err := t.heap.Get(tx.Now(), rid)
 	if err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	tx.inner.AdvanceTo(done)
 	return row, nil
@@ -108,7 +128,7 @@ func (t *Table) Update(tx *Tx, rid RID, row []byte) error {
 	tx.chargeOp()
 	done, err := t.heap.Update(tx.Now(), rid, row)
 	if err != nil {
-		return err
+		return publicErr(err)
 	}
 	tx.inner.AdvanceTo(done)
 	tx.inner.Log(wal.RecUpdate, t.objectID, rid.Encode())
@@ -120,7 +140,7 @@ func (t *Table) Delete(tx *Tx, rid RID) error {
 	tx.chargeOp()
 	done, err := t.heap.Delete(tx.Now(), rid)
 	if err != nil {
-		return err
+		return publicErr(err)
 	}
 	tx.inner.AdvanceTo(done)
 	tx.inner.Log(wal.RecDelete, t.objectID, rid.Encode())
@@ -128,6 +148,10 @@ func (t *Table) Delete(tx *Tx, rid RID) error {
 }
 
 // Scan iterates over all rows; fn returning false stops the scan.
+//
+// Deprecated: use Rows, which returns a standard iterator:
+//
+//	for rid, row := range tbl.Rows(tx) { ... }
 func (t *Table) Scan(tx *Tx, fn func(rid RID, row []byte) bool) error {
 	tx.chargeOp()
 	done, err := t.heap.Scan(tx.Now(), fn)
@@ -199,6 +223,10 @@ func (i *Index) Delete(tx *Tx, key []byte) error {
 
 // Scan iterates over entries with startKey <= key < endKey (nil endKey means
 // to the end); fn returning false stops the scan.
+//
+// Deprecated: use Range, which returns a standard iterator:
+//
+//	for key, rid := range idx.Range(tx, lo, hi) { ... }
 func (i *Index) Scan(tx *Tx, startKey, endKey []byte, fn func(key []byte, rid RID) bool) error {
 	tx.chargeOp()
 	done, err := i.tree.Scan(tx.Now(), startKey, endKey, func(k, v []byte) bool {
