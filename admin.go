@@ -1,6 +1,8 @@
 package noftl
 
 import (
+	"io"
+
 	"noftl/internal/core"
 )
 
@@ -29,6 +31,12 @@ type Admin interface {
 	// VerifyIntegrity cross-checks the space manager's mapping, per-block
 	// accounting and region capacities, returning the first inconsistency.
 	VerifyIntegrity() error
+	// TraceDump writes the currently retained trace events to w as JSONL
+	// (the stream the noftl-trace CLI consumes) and returns the number of
+	// events written.  It returns 0 without error when tracing is off; the
+	// ring buffer keeps recording, so mid-run dumps are snapshots, not
+	// drains.
+	TraceDump(w io.Writer) (int, error)
 }
 
 // Admin returns the administrative facade.
@@ -77,4 +85,8 @@ func (a *admin) PumpBackgroundGC() int {
 
 func (a *admin) VerifyIntegrity() error {
 	return a.db.space.VerifyIntegrity()
+}
+
+func (a *admin) TraceDump(w io.Writer) (int, error) {
+	return a.db.tracer.Dump(w)
 }

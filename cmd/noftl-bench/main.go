@@ -22,11 +22,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"noftl/internal/experiments"
+	"noftl/internal/metrics"
 )
 
 // jsonDoc is the top-level layout of the -json output.
@@ -44,7 +48,19 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
 	baselinePath := flag.String("baseline", "", "compare gated metrics against this baseline JSON and fail on regression")
 	baselineThreshold := flag.Float64("baseline-threshold", 0.10, "relative regression tolerated against -baseline")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve bench progress metrics (Prometheus text on /metrics) and pprof (/debug/pprof/) on this address while running")
 	flag.Parse()
+
+	var benchReg *metrics.Registry
+	if *metricsAddr != "" {
+		var err error
+		benchReg, err = serveBenchMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -83,6 +99,13 @@ func main() {
 		doc.Experiments[key] = result
 		doc.WallClockS[key] = time.Since(start).Seconds()
 		say("(wall-clock %.1fs)\n\n", doc.WallClockS[key])
+		if benchReg != nil {
+			benchReg.Counter("noftl_bench_experiments_completed_total",
+				"Experiments completed by this noftl-bench run.").With().Inc()
+			benchReg.Gauge("noftl_bench_wall_clock_milliseconds",
+				"Wall-clock time each experiment took.", "experiment").
+				With(key).Set(time.Since(start).Milliseconds())
+		}
 	}
 
 	known := map[string]bool{
@@ -231,6 +254,35 @@ func main() {
 		}
 		say("baseline check vs %s passed (threshold %.0f%%)\n", *baselinePath, *baselineThreshold*100)
 	}
+}
+
+// serveBenchMetrics starts the opt-in observability endpoint of the bench
+// process: run-progress metrics in the Prometheus text format on /metrics and
+// the standard pprof handlers under /debug/pprof/ on the same mux (profiling
+// a long `-scale paper` run without restarting it).  Databases opened by the
+// experiments have their own metric plane (noftl.WithMetricsListener); this
+// endpoint observes the bench process itself.
+func serveBenchMetrics(addr string) (*metrics.Registry, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	reg.Gauge("noftl_bench_up", "Always 1 while noftl-bench is running.").With().Set(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(reg.Text()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(lis) }()
+	fmt.Fprintf(os.Stderr, "serving metrics and pprof on http://%s\n", lis.Addr())
+	return reg, nil
 }
 
 // baselineDoc mirrors the subset of the -json document the regression gate

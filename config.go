@@ -45,6 +45,7 @@
 package noftl
 
 import (
+	"io"
 	"time"
 
 	"noftl/internal/core"
@@ -91,6 +92,24 @@ type Config struct {
 	// background flushers then write dirty pages one at a time (the
 	// pre-scheduler behaviour) instead of as one die-striped batch.
 	DisableGroupWriteBack bool
+	// TraceWriter enables event tracing: flash commands, host I/O, GC steps,
+	// wear moves, buffer-pool and WAL events are recorded into an in-memory
+	// ring buffer and dumped to this writer as JSONL on Close (the stream
+	// `noftl-trace` consumes).  Nil (the default) disables tracing entirely —
+	// the hook sites then cost one nil compare each.  See also
+	// Admin().TraceDump for mid-run snapshots.
+	TraceWriter io.Writer
+	// TraceBufferEvents is the capacity of the trace ring buffer in events
+	// (oldest events are overwritten once it is full).  Zero means the
+	// default of 65536 events.  Setting it without TraceWriter also enables
+	// tracing; the events are then only reachable through Admin().TraceDump.
+	TraceBufferEvents int
+	// MetricsAddr, when non-empty, starts an HTTP listener on the address
+	// serving Prometheus text metrics on /metrics, a liveness probe on
+	// /healthz and the standard pprof handlers under /debug/pprof/.  Use
+	// "127.0.0.1:0" to pick a free port; DB.MetricsAddr() reports the bound
+	// address.  Empty (the default) serves nothing.
+	MetricsAddr string
 }
 
 // DefaultConfig returns a small configuration suitable for tests, examples

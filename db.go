@@ -12,6 +12,7 @@ import (
 	"noftl/internal/ddl"
 	"noftl/internal/flash"
 	"noftl/internal/metrics"
+	"noftl/internal/obs"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 	"noftl/internal/txn"
@@ -30,6 +31,9 @@ type DB struct {
 	txns     *txn.Manager
 	clock    *sim.Clock
 	objStats *metrics.ObjectStats
+	reg      *metrics.Registry
+	tracer   *obs.Tracer // nil when tracing is off
+	msrv     *metricsServer
 
 	mu          sync.RWMutex
 	tablespaces map[string]*storage.Tablespace
@@ -54,7 +58,16 @@ func openOn(cfg Config, dev *flash.Device) (*DB, error) {
 		indexes:     make(map[string]*Index),
 		objectNames: make(map[uint32]string),
 	}
+	// The metrics registry is always live (registering families is cheap and
+	// the hot paths only touch cached children); the tracer only exists when
+	// the configuration asked for tracing.
+	db.reg = metrics.NewRegistry()
+	if cfg.TraceWriter != nil || cfg.TraceBufferEvents != 0 {
+		db.tracer = obs.NewTracer(cfg.TraceBufferEvents)
+	}
+	db.space.AttachObs(db.tracer, db.reg)
 	db.pool = buffer.New(db.space, cfg.BufferPoolPages, dev.Geometry().PageSize, db)
+	db.pool.AttachObs(db.tracer)
 	db.pool.Configure(buffer.Options{
 		ReadAhead:      cfg.ReadAheadPages,
 		GroupWriteBack: !cfg.DisableGroupWriteBack,
@@ -73,8 +86,16 @@ func openOn(cfg Config, dev *flash.Device) (*DB, error) {
 		db.objectNames[walObj] = "WAL"
 		db.objStats.Register("WAL", "log", "SYSTEM")
 		db.log = wal.New(db.space, defTS.Hint(walObj, flash.FlagLog), dev.Geometry().PageSize)
+		db.log.AttachObs(db.tracer)
 	}
 	db.txns = txn.NewManager(txn.NewLockManager(cfg.LockTimeout), db.log, db.clock)
+	if cfg.MetricsAddr != "" {
+		srv, err := serveMetrics(db, cfg.MetricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		db.msrv = srv
+	}
 	return db, nil
 }
 
@@ -94,6 +115,14 @@ func (db *DB) Close() error {
 	}
 	if db.log != nil {
 		if _, err := db.log.Flush(db.clock.Now()); err != nil {
+			return err
+		}
+	}
+	if db.msrv != nil {
+		db.msrv.shutdown()
+	}
+	if db.cfg.TraceWriter != nil {
+		if _, err := db.tracer.Dump(db.cfg.TraceWriter); err != nil {
 			return err
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"noftl/internal/core"
+	"noftl/internal/obs"
 	"noftl/internal/sim"
 )
 
@@ -156,6 +157,7 @@ type Pool struct {
 	backend  Backend
 	batch    BatchBackend // nil when the backend has no batch interface
 	recorder Recorder
+	tracer   *obs.Tracer // nil = tracing off (the only cost is nil compares)
 	frames   []*Frame
 	table    map[core.LPN]int
 	hand     int
@@ -192,6 +194,15 @@ func New(backend Backend, frameCount, pageSize int, recorder Recorder) *Pool {
 		p.frames[i] = &Frame{data: make([]byte, pageSize)}
 	}
 	return p
+}
+
+// AttachObs wires the pool to the trace recorder.  A nil tracer (the
+// default) keeps tracing off; hook sites then cost one nil compare.  Attach
+// before the pool sees traffic.
+func (p *Pool) AttachObs(tr *obs.Tracer) {
+	p.mu.Lock()
+	p.tracer = tr
+	p.mu.Unlock()
 }
 
 // Configure sets the pool's batched-I/O options.  Options that need the
@@ -269,6 +280,12 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 		return &Handle{pool: p, frame: f, idx: idx}, now, nil
 	}
 	p.misses++
+	if p.tracer.Enabled(obs.ClassBufMiss) {
+		p.tracer.Record(obs.Event{
+			Class: obs.ClassBufMiss, Die: -1, Block: -1, Page: -1,
+			Region: int32(hint.Region), Start: now, End: now, A: int64(lpn),
+		})
+	}
 	idx, now, err := p.allocFrameLocked(now)
 	if err != nil {
 		p.mu.Unlock()
@@ -419,6 +436,12 @@ func (p *Pool) FetchMany(now sim.Time, lpns []core.LPN, hint core.Hint) ([]*Hand
 			continue
 		}
 		p.misses++
+		if p.tracer.Enabled(obs.ClassBufMiss) {
+			p.tracer.Record(obs.Event{
+				Class: obs.ClassBufMiss, Die: -1, Block: -1, Page: -1,
+				Region: int32(hint.Region), Start: now, End: now, A: int64(lpn),
+			})
+		}
 		idx, t, err := p.allocFrameLocked(now)
 		if err != nil {
 			// Unwind the misses staged so far: their frames are published
@@ -534,6 +557,13 @@ func (p *Pool) WriteThrough(now sim.Time, writes []core.PageWrite) (sim.Time, er
 	if p.batch != nil {
 		p.groupFlushes++
 	}
+	if p.tracer.Enabled(obs.ClassBufWriteBack) {
+		p.tracer.Record(obs.Event{
+			Class: obs.ClassBufWriteBack, Op: obs.BufWriteBackGroup,
+			Die: -1, Block: -1, Page: -1, Region: -1,
+			Start: now, End: done, A: int64(len(writes)),
+		})
+	}
 	p.mu.Unlock()
 	return done, nil
 }
@@ -640,7 +670,9 @@ func (p *Pool) allocFrameLocked(now sim.Time) (int, sim.Time, error) {
 			continue
 		}
 		// Victim found.
-		if f.dirty.Load() {
+		dirty := f.dirty.Load()
+		if dirty {
+			start := now
 			done, err := p.backend.WritePage(now, f.lpn, f.data, f.hint)
 			if err != nil {
 				return 0, now, fmt.Errorf("buffer: writeback lpn %d: %w", f.lpn, err)
@@ -650,6 +682,24 @@ func (p *Pool) allocFrameLocked(now sim.Time) (int, sim.Time, error) {
 			if p.recorder != nil {
 				p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
 			}
+			if p.tracer.Enabled(obs.ClassBufWriteBack) {
+				p.tracer.Record(obs.Event{
+					Class: obs.ClassBufWriteBack, Op: obs.BufWriteBackSingle,
+					Die: -1, Block: -1, Page: -1, Region: int32(f.hint.Region),
+					Start: start, End: done, A: int64(f.lpn),
+				})
+			}
+		}
+		if p.tracer.Enabled(obs.ClassBufEvict) {
+			var b int64
+			if dirty {
+				b = 1
+			}
+			p.tracer.Record(obs.Event{
+				Class: obs.ClassBufEvict, Die: -1, Block: -1, Page: -1,
+				Region: int32(f.hint.Region), Start: now, End: now,
+				A: int64(f.lpn), B: b,
+			})
 		}
 		delete(p.table, f.lpn)
 		f.valid = false
@@ -685,6 +735,13 @@ func (p *Pool) flushFrameLocked(now sim.Time, idx int) (sim.Time, error) {
 	p.writebacks++
 	if p.recorder != nil {
 		p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
+	}
+	if p.tracer.Enabled(obs.ClassBufWriteBack) {
+		p.tracer.Record(obs.Event{
+			Class: obs.ClassBufWriteBack, Op: obs.BufWriteBackSingle,
+			Die: -1, Block: -1, Page: -1, Region: int32(f.hint.Region),
+			Start: now, End: done, A: int64(f.lpn),
+		})
 	}
 	return done, nil
 }
@@ -778,6 +835,13 @@ func (p *Pool) flushGroupLocked(now sim.Time, max int) (int, sim.Time, error) {
 		}
 	}
 	p.groupFlushes++
+	if p.tracer.Enabled(obs.ClassBufWriteBack) {
+		p.tracer.Record(obs.Event{
+			Class: obs.ClassBufWriteBack, Op: obs.BufWriteBackGroup,
+			Die: -1, Block: -1, Page: -1, Region: -1,
+			Start: now, End: done, A: int64(len(idxs)),
+		})
+	}
 	return len(idxs), done, nil
 }
 

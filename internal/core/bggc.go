@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"noftl/internal/obs"
 	"noftl/internal/sim"
 )
 
@@ -94,6 +95,14 @@ func (m *Manager) backgroundStepLocked(now sim.Time, r *Region, da *dieAlloc) (s
 		}
 		da.bgVictim = v
 		r.gcRuns++
+		if m.tracer.Enabled(obs.ClassGCVictim) {
+			m.tracer.Record(obs.Event{
+				Class: obs.ClassGCVictim, Op: obs.GCStepBackground,
+				Die: int32(da.die), Block: int32(v), Page: -1,
+				Region: int32(r.id), Start: now, End: now,
+				A: int64(da.blocks[v].validCount),
+			})
+		}
 	}
 	start := sim.MaxTime(now, m.sched.DieIdleAt(da.die))
 	copybacks, erases := r.gcCopybacks, r.gcErases
@@ -117,6 +126,16 @@ func (m *Manager) backgroundStepLocked(now sim.Time, r *Region, da *dieAlloc) (s
 	}
 	r.bgSteps++
 	m.sched.ObserveGCStep(end.Sub(start))
+	if r.promBGSteps != nil {
+		r.promBGSteps.Inc()
+	}
+	if m.tracer.Enabled(obs.ClassGCStep) {
+		m.tracer.Record(obs.Event{
+			Class: obs.ClassGCStep, Op: obs.GCStepBackground,
+			Die: int32(da.die), Block: -1, Page: -1,
+			Region: int32(r.id), Start: start, End: end,
+		})
+	}
 	return end, true
 }
 

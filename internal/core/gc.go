@@ -8,6 +8,7 @@ import (
 
 	"noftl/internal/flash"
 	"noftl/internal/iosched"
+	"noftl/internal/obs"
 	"noftl/internal/sim"
 )
 
@@ -108,10 +109,22 @@ func (p GCPolicy) String() string {
 func (m *Manager) collectDie(now sim.Time, r *Region, da *dieAlloc) sim.Time {
 	r.gcStalls++
 	m.sched.ObserveGCStall()
+	if r.promGCStalls != nil {
+		r.promGCStalls.Inc()
+	}
+	fgStart := now
 	for da.freeCount() <= m.opts.GCLowWaterBlocks {
 		victim := m.pickVictim(da, r.gc)
 		if victim < 0 {
 			break
+		}
+		if m.tracer.Enabled(obs.ClassGCVictim) {
+			m.tracer.Record(obs.Event{
+				Class: obs.ClassGCVictim, Op: obs.GCStepForeground,
+				Die: int32(da.die), Block: int32(victim), Page: -1,
+				Region: int32(r.id), Start: now, End: now,
+				A: int64(da.blocks[victim].validCount),
+			})
 		}
 		r.gcRuns++
 		copybacks, erases := r.gcCopybacks, r.gcErases
@@ -125,6 +138,15 @@ func (m *Manager) collectDie(now sim.Time, r *Region, da *dieAlloc) sim.Time {
 	}
 	if m.opts.WearLevelDelta > 0 {
 		now = m.maybeWearLevel(now, r, da)
+	}
+	if now > fgStart && m.tracer.Enabled(obs.ClassGCStep) {
+		// One foreground-collection window covering every victim this call
+		// relocated and erased: the inline stall the host write paid.
+		m.tracer.Record(obs.Event{
+			Class: obs.ClassGCStep, Op: obs.GCStepForeground,
+			Die: int32(da.die), Block: -1, Page: -1,
+			Region: int32(r.id), Start: fgStart, End: now,
+		})
 	}
 	return now
 }
@@ -275,6 +297,9 @@ func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim
 		vblk.valid[mv.page] = false
 		vblk.validCount--
 		r.gcCopybacks++
+		if r.promGCCopybacks != nil {
+			r.promGCCopybacks.Inc()
+		}
 	}
 	if len(reqs) > 0 {
 		now = end
@@ -292,14 +317,24 @@ func (m *Manager) relocateAndErase(now sim.Time, r *Region, da *dieAlloc, victim
 		vblk.state = blkRetired
 		return now
 	}
-	now = done
 	vblk.reset(pagesPerBlock)
 	if vblk.eraseCount < math.MaxInt64 {
 		vblk.eraseCount++ // saturate instead of wrapping negative
 	}
 	da.freeBlocks = append(da.freeBlocks, victim)
 	r.gcErases++
-	return now
+	if r.promGCErases != nil {
+		r.promGCErases.Inc()
+	}
+	if m.tracer.Enabled(obs.ClassGCErase) {
+		m.tracer.Record(obs.Event{
+			Class: obs.ClassGCErase,
+			Die:   int32(da.die), Block: int32(victim), Page: -1,
+			Region: int32(r.id), Start: now, End: done,
+			A: vblk.eraseCount,
+		})
+	}
+	return done
 }
 
 // relocSlot returns the next destination slot for a relocated page.  With
@@ -393,9 +428,21 @@ func (m *Manager) maybeWearLevel(now sim.Time, r *Region, da *dieAlloc) sim.Time
 		return now
 	}
 	before := r.gcErases
+	wlStart := now
 	now = m.relocateAndErase(now, r, da, minIdx, m.geo.PagesPerBlock, r.gc)
 	if r.gcErases > before {
 		r.wlMoves++
+		if r.promWearMoves != nil {
+			r.promWearMoves.Inc()
+		}
+		if m.tracer.Enabled(obs.ClassWear) {
+			m.tracer.Record(obs.Event{
+				Class: obs.ClassWear,
+				Die:   int32(da.die), Block: int32(minIdx), Page: -1,
+				Region: int32(r.id), Start: wlStart, End: now,
+				A: minE, B: maxE,
+			})
+		}
 	}
 	return now
 }

@@ -6,6 +6,8 @@ import (
 
 	"noftl/internal/flash"
 	"noftl/internal/iosched"
+	"noftl/internal/metrics"
+	"noftl/internal/obs"
 	"noftl/internal/sim"
 )
 
@@ -178,6 +180,12 @@ type Manager struct {
 	mapping map[LPN]mapEntry
 	nextLPN LPN
 	seq     uint64 // monotonically increasing write sequence for OOB metadata
+
+	// Observability plane (AttachObs): tracer is nil when tracing is off; reg
+	// is nil when labeled export is off.  Per-region labeled children are
+	// cached on the Region itself (bindRegionObsLocked).
+	tracer *obs.Tracer
+	reg    *metrics.Registry
 }
 
 // NewManager creates a space manager over dev.  Initially a single region
@@ -233,8 +241,64 @@ func (m *Manager) Scheduler() *iosched.Scheduler { return m.sched }
 // Mode returns the placement mode the manager was created with.
 func (m *Manager) Mode() PlacementMode { return m.opts.Mode }
 
+// AttachObs wires the space manager (and its I/O scheduler) to the
+// observability plane: host read/write, GC, and wear-leveling events go to tr
+// (nil = tracing off), per-region labeled metric families are registered on
+// reg (nil = no labeled export).  Call before serving traffic; regions
+// created later are bound automatically.
+func (m *Manager) AttachObs(tr *obs.Tracer, reg *metrics.Registry) {
+	m.mu.Lock()
+	m.tracer = tr
+	m.reg = reg
+	for _, r := range m.regions {
+		m.bindRegionObsLocked(r)
+	}
+	m.mu.Unlock()
+	m.sched.AttachObs(tr, reg)
+}
+
+// bindRegionObsLocked caches the region's labeled metric children so hot
+// paths never touch the registry maps.  Caller holds m.mu.
+func (m *Manager) bindRegionObsLocked(r *Region) {
+	if m.reg == nil {
+		return
+	}
+	reg := m.reg
+	r.promHostReads = reg.Counter("noftl_region_host_reads_total",
+		"Logical host page reads served per region.", "region").With(r.name)
+	r.promHostWrites = reg.Counter("noftl_region_host_writes_total",
+		"Logical host page writes placed per region.", "region").With(r.name)
+	r.promGCCopybacks = reg.Counter("noftl_region_gc_copybacks_total",
+		"Valid pages relocated by garbage collection per region.", "region").With(r.name)
+	r.promGCErases = reg.Counter("noftl_region_gc_erases_total",
+		"Victim blocks erased by garbage collection per region.", "region").With(r.name)
+	r.promGCStalls = reg.Counter("noftl_region_gc_stalls_total",
+		"Foreground (blocking) collections at the low watermark per region.", "region").With(r.name)
+	r.promBGSteps = reg.Counter("noftl_region_bggc_steps_total",
+		"Bounded background GC steps per region.", "region").With(r.name)
+	r.promWearMoves = reg.Counter("noftl_region_wear_moves_total",
+		"Static wear-leveling block relocations per region.", "region").With(r.name)
+	r.promReadLat = reg.Histogram("noftl_host_read_latency_seconds",
+		"End-to-end virtual-time host read latency per region.", "region").With(r.name)
+	r.promWriteLat = reg.Histogram("noftl_host_write_latency_seconds",
+		"End-to-end virtual-time host write latency (including foreground GC) per region.", "region").With(r.name)
+}
+
 // Options returns the effective options.
 func (m *Manager) Options() Options { return m.opts }
+
+// DieFreeBlocks returns the current free-block count of every die, indexed
+// by die number.  The metrics plane exports it as a per-die gauge at scrape
+// time.
+func (m *Manager) DieFreeBlocks() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(m.dies))
+	for i, da := range m.dies {
+		out[i] = da.freeCount()
+	}
+	return out
+}
 
 // recomputeCapacity updates the exported logical capacity of a region from
 // its die set, over-provisioning and MAX_SIZE limit.  Caller holds m.mu (or
@@ -354,6 +418,7 @@ func (m *Manager) CreateRegion(spec RegionSpec) (*Region, error) {
 
 	m.regions[r.name] = r
 	m.regionsByID[r.id] = r
+	m.bindRegionObsLocked(r)
 	return r, nil
 }
 
@@ -557,6 +622,7 @@ func (m *Manager) ReadPage(now sim.Time, lpn LPN, buf []byte) ([]byte, sim.Time,
 	}
 	r := m.regionsByID[m.dieOwner[e.addr.Die]]
 	r.hostReads++
+	tr := m.tracer
 	m.mu.Unlock()
 
 	data, _, done, err := m.sched.Read(now, e.addr, buf, iosched.PrioHostRead)
@@ -564,6 +630,17 @@ func (m *Manager) ReadPage(now sim.Time, lpn LPN, buf []byte) ([]byte, sim.Time,
 		return nil, done, err
 	}
 	r.readLat.Observe(done.Sub(now))
+	if r.promReadLat != nil {
+		r.promReadLat.Observe(done.Sub(now))
+		r.promHostReads.Inc()
+	}
+	if tr.Enabled(obs.ClassHostRead) {
+		tr.Record(obs.Event{
+			Class: obs.ClassHostRead,
+			Die:   int32(e.addr.Die), Block: int32(e.addr.Block), Page: int32(e.addr.Page),
+			Region: int32(r.id), Start: now, End: done, A: int64(lpn),
+		})
+	}
 	return data, done, nil
 }
 
@@ -668,6 +745,17 @@ func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Tim
 	// had to wait for, exactly what a host sees on a device doing foreground
 	// garbage collection.
 	r.writeLat.Observe(done.Sub(start))
+	if r.promWriteLat != nil {
+		r.promWriteLat.Observe(done.Sub(start))
+		r.promHostWrites.Inc()
+	}
+	if m.tracer.Enabled(obs.ClassHostWrite) {
+		m.tracer.Record(obs.Event{
+			Class: obs.ClassHostWrite,
+			Die:   int32(da.die), Block: int32(slot.block), Page: int32(slot.page),
+			Region: int32(r.id), Start: start, End: done, A: int64(lpn),
+		})
+	}
 	// Opportunistic background GC: a bounded step on the die just written,
 	// after the host latency has been recorded — its cost lands in the die's
 	// idle time, not in this write's response time.

@@ -76,6 +76,19 @@ type Region struct {
 	readLat     *metrics.Histogram
 	writeLat    *metrics.Histogram
 
+	// Labeled observability children, cached here by bindRegionObsLocked so
+	// the write/GC hot paths never touch the registry maps.  All nil when no
+	// registry is attached.
+	promHostReads   *metrics.Counter
+	promHostWrites  *metrics.Counter
+	promGCCopybacks *metrics.Counter
+	promGCErases    *metrics.Counter
+	promGCStalls    *metrics.Counter
+	promBGSteps     *metrics.Counter
+	promWearMoves   *metrics.Counter
+	promReadLat     *metrics.Histogram
+	promWriteLat    *metrics.Histogram
+
 	rr int // round-robin cursor over dies for write placement
 }
 
@@ -119,6 +132,11 @@ type RegionStats struct {
 	MinErase      int64
 	MaxErase      int64
 	TotalErase    int64
+	// Background-GC watermark state of the region's dies at snapshot time.
+	BGDebtBlocks   int64 // total free-block shortfall relative to the high watermark
+	DiesInBGBand   int   // dies at or below the high watermark (background band)
+	DiesAtLowWater int   // dies at or below the low watermark
+	BGVictimsOpen  int   // dies with an in-progress (partially relocated) background victim
 }
 
 // WriteAmplification returns (host writes + GC copybacks) / host writes, the

@@ -23,6 +23,14 @@ type Stats struct {
 	BGGCSteps   int64 // bounded background GC steps
 	WearMoves   int64
 	ValidPages  int64
+	// Watermark configuration echo and current background-GC state (see the
+	// per-region fields for the breakdown).
+	GCLowWaterBlocks  int   // per-die foreground-backstop threshold
+	GCHighWaterBlocks int   // per-die background-band threshold
+	BGDebtBlocks      int64 // total free-block shortfall relative to the high watermark
+	DiesInBGBand      int   // dies at or below the high watermark
+	DiesAtLowWater    int   // dies at or below the low watermark (foreground territory)
+	BGVictimsOpen     int   // dies with a partially collected background victim
 	// Device-level counters (include everything the regions did).
 	DeviceReads    int64
 	DevicePrograms int64
@@ -69,10 +77,12 @@ func (m *Manager) Stats() Stats {
 
 	dev := m.dev.Stats()
 	out := Stats{
-		Mode:           m.opts.Mode,
-		DeviceReads:    dev.Reads,
-		DevicePrograms: dev.Programs,
-		DeviceErases:   dev.Erases,
+		Mode:              m.opts.Mode,
+		DeviceReads:       dev.Reads,
+		DevicePrograms:    dev.Programs,
+		DeviceErases:      dev.Erases,
+		GCLowWaterBlocks:  m.opts.GCLowWaterBlocks,
+		GCHighWaterBlocks: m.opts.GCHighWaterBlocks,
 	}
 
 	first := true
@@ -103,6 +113,16 @@ func (m *Manager) Stats() Stats {
 			channels[m.geo.ChannelOfDie(d)] = true
 			da := m.dies[d]
 			rs.FreeBlocks += da.freeCount()
+			if free := da.freeCount(); free <= m.opts.GCHighWaterBlocks {
+				rs.DiesInBGBand++
+				rs.BGDebtBlocks += int64(m.opts.GCHighWaterBlocks - free)
+				if free <= m.opts.GCLowWaterBlocks {
+					rs.DiesAtLowWater++
+				}
+			}
+			if da.bgVictim >= 0 {
+				rs.BGVictimsOpen++
+			}
 			for i := range da.blocks {
 				ec := da.blocks[i].eraseCount
 				rs.TotalErase += ec
@@ -129,6 +149,10 @@ func (m *Manager) Stats() Stats {
 		out.BGGCSteps += rs.BGGCSteps
 		out.WearMoves += rs.WearMoves
 		out.ValidPages += rs.ValidPages
+		out.BGDebtBlocks += rs.BGDebtBlocks
+		out.DiesInBGBand += rs.DiesInBGBand
+		out.DiesAtLowWater += rs.DiesAtLowWater
+		out.BGVictimsOpen += rs.BGVictimsOpen
 		out.TotalErase += rs.TotalErase
 		if rs.MaxErase > out.MaxErase {
 			out.MaxErase = rs.MaxErase

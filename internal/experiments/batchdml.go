@@ -30,6 +30,19 @@ type BatchDMLResult struct {
 	GetSerialTime        time.Duration
 	GetBatchTime         time.Duration
 	GetSpeedup           float64
+	// Scheduler depth high-water marks per phase.  MaxBatch is the largest
+	// single die-striped submission (the batched paths dispatch hundreds of
+	// pages per submission vs ~1 on the serial path — exactly where the
+	// speedup comes from); MaxQueueDepth is the async Enqueue/Wait queue's
+	// high-water mark (zero here unless prefetch is enabled).
+	InsertSerialMaxBatch      int64
+	InsertBatchMaxBatch       int64
+	GetSerialMaxBatch         int64
+	GetBatchMaxBatch          int64
+	InsertSerialMaxQueueDepth int64
+	InsertBatchMaxQueueDepth  int64
+	GetSerialMaxQueueDepth    int64
+	GetBatchMaxQueueDepth     int64
 }
 
 func (r BatchDMLResult) String() string {
@@ -90,6 +103,8 @@ func RunBatchDML(rows, rowSize int) (BatchDMLResult, error) {
 	st := db.Stats()
 	res.InsertSerialSubmissions = st.Scheduler.Batches
 	res.InsertSerialTime = st.Simulated
+	res.InsertSerialMaxBatch = st.Scheduler.MaxBatch
+	res.InsertSerialMaxQueueDepth = st.Scheduler.MaxQueueDepth
 
 	if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
 		return res, err
@@ -109,6 +124,8 @@ func RunBatchDML(rows, rowSize int) (BatchDMLResult, error) {
 	st = db.Stats()
 	res.GetSerialSubmissions = st.Scheduler.Batches
 	res.GetSerialTime = st.Simulated
+	res.GetSerialMaxBatch = st.Scheduler.MaxBatch
+	res.GetSerialMaxQueueDepth = st.Scheduler.MaxQueueDepth
 
 	// Batched: one InsertBatch transaction, then cold chunked GetBatch.
 	db2, tbl2, err := open()
@@ -132,6 +149,8 @@ func RunBatchDML(rows, rowSize int) (BatchDMLResult, error) {
 	st = db2.Stats()
 	res.InsertBatchSubmissions = st.Scheduler.Batches
 	res.InsertBatchTime = st.Simulated
+	res.InsertBatchMaxBatch = st.Scheduler.MaxBatch
+	res.InsertBatchMaxQueueDepth = st.Scheduler.MaxQueueDepth
 
 	if _, err := db2.FlushAll(db2.SimulatedTime()); err != nil {
 		return res, err
@@ -154,6 +173,8 @@ func RunBatchDML(rows, rowSize int) (BatchDMLResult, error) {
 	st = db2.Stats()
 	res.GetBatchSubmissions = st.Scheduler.Batches
 	res.GetBatchTime = st.Simulated
+	res.GetBatchMaxBatch = st.Scheduler.MaxBatch
+	res.GetBatchMaxQueueDepth = st.Scheduler.MaxQueueDepth
 
 	if res.InsertBatchSubmissions > 0 {
 		res.InsertSubmissionRatio = float64(res.InsertSerialSubmissions) / float64(res.InsertBatchSubmissions)

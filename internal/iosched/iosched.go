@@ -35,10 +35,12 @@ package iosched
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 
 	"noftl/internal/flash"
 	"noftl/internal/metrics"
+	"noftl/internal/obs"
 	"noftl/internal/sim"
 )
 
@@ -183,6 +185,17 @@ type Scheduler struct {
 	gcSteps    *metrics.Counter
 	gcStepSpan *metrics.Histogram
 	gcStalls   *metrics.Counter
+
+	// Observability hooks (AttachObs).  tracer is nil when tracing is off —
+	// the disabled path is one nil compare.  The labeled children are cached
+	// per (priority, die) so the dispatch loop never touches the registry's
+	// maps.
+	tracer       *obs.Tracer
+	promReqs     [numPriorities][]*metrics.Counter // [prio][die]
+	promLat      [numPriorities]*metrics.Histogram
+	promBatches  *metrics.Counter
+	promGCSteps  *metrics.Counter
+	promGCStalls *metrics.Counter
 }
 
 // New creates a scheduler over the device.
@@ -213,6 +226,37 @@ func New(dev Device) *Scheduler {
 // Metrics returns the scheduler's metric set (queue depth, batch sizes,
 // per-priority request counts and latencies).
 func (s *Scheduler) Metrics() *metrics.Set { return s.set }
+
+// AttachObs wires the scheduler to the observability plane: flash-command
+// trace events go to tr (nil = tracing off, one pointer compare per command)
+// and per-die/per-priority labeled families are registered on reg (nil = no
+// labeled export).  Call before serving traffic.
+func (s *Scheduler) AttachObs(tr *obs.Tracer, reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tr
+	if reg == nil {
+		return
+	}
+	reqs := reg.Counter("noftl_iosched_requests_total",
+		"Flash commands dispatched by the I/O scheduler.", "die", "priority")
+	lat := reg.Histogram("noftl_iosched_request_latency_seconds",
+		"Virtual-time flash command latency by scheduler priority.", "priority")
+	dies := s.geo.Dies()
+	for p := Priority(0); p < numPriorities; p++ {
+		s.promReqs[p] = make([]*metrics.Counter, dies)
+		for d := 0; d < dies; d++ {
+			s.promReqs[p][d] = reqs.With(strconv.Itoa(d), p.String())
+		}
+		s.promLat[p] = lat.With(p.String())
+	}
+	s.promBatches = reg.Counter("noftl_iosched_batches_total",
+		"Request batches dispatched by the I/O scheduler.").With()
+	s.promGCSteps = reg.Counter("noftl_iosched_gc_steps_total",
+		"Background GC steps observed by the scheduler.").With()
+	s.promGCStalls = reg.Counter("noftl_iosched_gc_stalls_total",
+		"Foreground GC stalls (allocation blocked at the low watermark).").With()
+}
 
 // Submit dispatches a batch of requests starting at the caller's virtual time
 // and returns one completion per request, in request order, together with the
@@ -278,11 +322,38 @@ func (s *Scheduler) dispatchLocked(now sim.Time, reqs []Request) ([]Completion, 
 		}
 		if c.Err == nil {
 			s.latByPrio[req.Priority].Observe(c.Done.Sub(now))
+			if s.promLat[req.Priority] != nil {
+				s.promLat[req.Priority].Observe(c.Done.Sub(now))
+			}
 		}
 		s.reqsByPrio[req.Priority].Inc()
+		if d := req.die(); s.promReqs[req.Priority] != nil && d >= 0 && d < len(s.promReqs[req.Priority]) {
+			s.promReqs[req.Priority][d].Inc()
+		}
+		if s.tracer.Enabled(obs.ClassFlash) && c.Err == nil {
+			ev := obs.Event{
+				Class: obs.ClassFlash,
+				Op:    uint8(req.Op),
+				Prio:  uint8(req.Priority),
+				Die:   int32(req.die()),
+				Start: now,
+				End:   c.Done,
+				A:     int64(req.Tag),
+			}
+			if req.Op == OpErase {
+				ev.Block, ev.Page = int32(req.Block.Block), -1
+			} else {
+				ev.Block, ev.Page = int32(req.Addr.Block), int32(req.Addr.Page)
+			}
+			ev.Region = -1
+			s.tracer.Record(ev)
+		}
 		completions[i] = c
 	}
 	s.batches.Inc()
+	if s.promBatches != nil {
+		s.promBatches.Inc()
+	}
 	s.requests.Add(int64(len(reqs)))
 	if int64(len(reqs)) > s.maxBatch.Value() {
 		s.maxBatch.Set(int64(len(reqs)))
@@ -385,11 +456,19 @@ func (s *Scheduler) DieIdleAt(die int) sim.Time {
 func (s *Scheduler) ObserveGCStep(span sim.Duration) {
 	s.gcSteps.Inc()
 	s.gcStepSpan.Observe(span)
+	if s.promGCSteps != nil {
+		s.promGCSteps.Inc()
+	}
 }
 
 // ObserveGCStall records one foreground (blocking) collection: an allocation
 // hit the low watermark and had to wait for GC inline.
-func (s *Scheduler) ObserveGCStall() { s.gcStalls.Inc() }
+func (s *Scheduler) ObserveGCStall() {
+	s.gcStalls.Inc()
+	if s.promGCStalls != nil {
+		s.promGCStalls.Inc()
+	}
+}
 
 // ---- single-request conveniences ----
 //

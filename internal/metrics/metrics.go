@@ -27,6 +27,11 @@ func (c *Counter) Add(delta int64) { c.v.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Store sets the counter to v.  It exists for scrape-time snapshot counters
+// that mirror an externally maintained monotonic total; normal hot-path
+// counters should use Inc/Add.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 
@@ -108,6 +113,22 @@ func (h *Histogram) Count() int64 {
 	return h.count
 }
 
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.sum)
+}
+
+// exportBuckets returns a copy of the raw per-bucket counts together with the
+// total count and sum (ns).  It is the Prometheus encoder's view of the
+// histogram; bucket i's inclusive upper bound is bucketUpper(i).
+func (h *Histogram) exportBuckets() (buckets [64]int64, count, sum int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets, h.count, h.sum
+}
+
 // Mean returns the mean observed duration (zero if empty).
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
@@ -138,13 +159,26 @@ func (h *Histogram) Min() time.Duration {
 	return time.Duration(h.min)
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
-// based on the bucket boundaries.  Returns zero if the histogram is empty.
+// Quantile returns an upper-bound estimate of the q-quantile based on the
+// bucket boundaries.  The contract at the edges:
+//
+//   - empty histogram: 0 for every q;
+//   - q <= 0: the exact observed minimum;
+//   - q >= 1: the exact observed maximum;
+//   - otherwise: the upper bound of the bucket holding the ceil(q·count)-th
+//     observation, clamped to the observed maximum so the estimate never
+//     exceeds a value that was actually observed.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
 	}
 	target := int64(q*float64(h.count) + 0.9999999)
 	if target < 1 {
@@ -157,7 +191,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= target {
-			return time.Duration(bucketUpper(i))
+			est := bucketUpper(i)
+			if est > h.max {
+				est = h.max
+			}
+			return time.Duration(est)
 		}
 	}
 	return time.Duration(h.max)

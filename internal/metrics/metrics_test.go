@@ -215,3 +215,66 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
 	}
 }
+
+// TestHistogramQuantileContract pins the documented edge behavior: empty
+// histograms report zero for every q, q<=0 is the exact minimum, q>=1 the
+// exact maximum, and interior estimates never exceed the observed maximum.
+func TestHistogramQuantileContract(t *testing.T) {
+	empty := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	h := NewHistogram()
+	h.Observe(130 * time.Microsecond)
+	h.Observe(700 * time.Microsecond)
+	h.Observe(900 * time.Microsecond)
+	if got := h.Quantile(0); got != 130*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want exact min", got)
+	}
+	if got := h.Quantile(-0.5); got != 130*time.Microsecond {
+		t.Fatalf("Quantile(-0.5) = %v, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 900*time.Microsecond {
+		t.Fatalf("Quantile(1) = %v, want exact max", got)
+	}
+	if got := h.Quantile(1.5); got != 900*time.Microsecond {
+		t.Fatalf("Quantile(1.5) = %v, want exact max", got)
+	}
+	// The power-of-two bucket for 900µs tops out well above 900µs; the
+	// interior estimate must be clamped to the observed maximum.
+	if got := h.Quantile(0.99); got > 900*time.Microsecond {
+		t.Fatalf("Quantile(0.99) = %v exceeds observed max", got)
+	}
+	if got := h.Quantile(0.5); got < 130*time.Microsecond || got > 900*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v outside observed range", got)
+	}
+
+	one := NewHistogram()
+	one.Observe(42 * time.Microsecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 42*time.Microsecond {
+			t.Fatalf("single-sample Quantile(%v) = %v, want the sample", q, got)
+		}
+	}
+}
+
+func TestCounterStore(t *testing.T) {
+	var c Counter
+	c.Add(7)
+	c.Store(3)
+	if c.Value() != 3 {
+		t.Fatalf("Store: %d", c.Value())
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if h.Sum() != 3*time.Millisecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"noftl/internal/metrics"
+	"noftl/internal/sim"
+)
+
+// LatencyStats summarizes a set of virtual-time latencies.
+type LatencyStats struct {
+	Count int64
+	Mean  sim.Duration
+	P50   sim.Duration
+	P95   sim.Duration
+	P99   sim.Duration
+	Max   sim.Duration
+}
+
+func latencyStats(h *metrics.Histogram) LatencyStats {
+	return LatencyStats{
+		Count: h.Count(),
+		Mean:  sim.Duration(h.Mean()),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// DieSummary is the per-die view of a trace: how busy the die's flash
+// interface was and how much of the span GC occupied it.
+type DieSummary struct {
+	Die int32
+	// FlashCmds is the number of flash commands dispatched to the die.
+	FlashCmds int64
+	// BusyTime is the merged virtual time the die spent executing flash
+	// commands (overlapping command windows are coalesced).
+	BusyTime sim.Duration
+	// Utilization is BusyTime over the trace span (0..1).
+	Utilization float64
+	// GCTime is the merged virtual time covered by GC step windows on the die.
+	GCTime sim.Duration
+	// GCSteps counts GC step events (background + foreground) on the die.
+	GCSteps int64
+}
+
+// GCInterference is the A6 story extracted from a trace: host writes that
+// overlap a GC window on their die versus those that ran clear of GC.
+type GCInterference struct {
+	// Interfered are host writes whose [Start,End) overlapped a GC step or
+	// erase window on the same die.
+	Interfered LatencyStats
+	// Clean are host writes with no GC overlap.
+	Clean LatencyStats
+	// SlowdownX is Interfered.Mean / Clean.Mean (0 when either side is empty).
+	SlowdownX float64
+}
+
+// Summary is the digest of a trace produced by Summarize.
+type Summary struct {
+	Events int
+	// Start and End bound the trace in virtual time.
+	Start sim.Time
+	End   sim.Time
+	// PerClass counts events by class (indexed by Class).
+	PerClass [NumClasses]int64
+	// PerPrio is the flash-command latency breakdown by scheduler priority.
+	PerPrio map[uint8]LatencyStats
+	// Dies is the per-die utilization view, ordered by die id.
+	Dies []DieSummary
+	// HostWrite and HostRead are end-to-end host-latency breakdowns.
+	HostWrite LatencyStats
+	HostRead  LatencyStats
+	// GC is the GC-interference analysis over host writes.
+	GC GCInterference
+}
+
+// window is a half-open virtual-time interval on a die.
+type window struct {
+	start, end sim.Time
+}
+
+// mergeWindows coalesces overlapping/touching intervals, returning them
+// sorted by start, plus the total covered duration.
+func mergeWindows(ws []window) ([]window, sim.Duration) {
+	if len(ws) == 0 {
+		return nil, 0
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+	merged := ws[:1]
+	for _, w := range ws[1:] {
+		last := &merged[len(merged)-1]
+		if w.start <= last.end {
+			if w.end > last.end {
+				last.end = w.end
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	var total sim.Duration
+	for _, w := range merged {
+		total += w.end.Sub(w.start)
+	}
+	return merged, total
+}
+
+// overlaps reports whether [start,end) intersects any merged window.
+func overlaps(ws []window, start, end sim.Time) bool {
+	// First window ending after start.
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].end > start })
+	return i < len(ws) && ws[i].start < end
+}
+
+// Summarize digests a trace: per-class counts, per-die flash utilization,
+// per-priority and host latency breakdowns, and the GC-interference split of
+// host writes (the A6 experiment's story, recovered from the event stream).
+func Summarize(events []Event) Summary {
+	s := Summary{Events: len(events), PerPrio: make(map[uint8]LatencyStats)}
+	if len(events) == 0 {
+		return s
+	}
+	s.Start = events[0].Start
+	s.End = events[0].End
+	prioHists := make(map[uint8]*metrics.Histogram)
+	hostWrite := metrics.NewHistogram()
+	hostRead := metrics.NewHistogram()
+	flashWin := make(map[int32][]window) // die -> flash command windows
+	gcWin := make(map[int32][]window)    // die -> GC step/erase windows
+	dieCmds := make(map[int32]int64)
+	dieGCSteps := make(map[int32]int64)
+
+	for _, e := range events {
+		if e.Start < s.Start {
+			s.Start = e.Start
+		}
+		if e.End > s.End {
+			s.End = e.End
+		}
+		if int(e.Class) < len(s.PerClass) {
+			s.PerClass[e.Class]++
+		}
+		switch e.Class {
+		case ClassFlash:
+			h := prioHists[e.Prio]
+			if h == nil {
+				h = metrics.NewHistogram()
+				prioHists[e.Prio] = h
+			}
+			h.Observe(e.Latency())
+			if e.Die >= 0 {
+				dieCmds[e.Die]++
+				if e.End > e.Start {
+					flashWin[e.Die] = append(flashWin[e.Die], window{e.Start, e.End})
+				}
+			}
+		case ClassHostWrite:
+			hostWrite.Observe(e.Latency())
+		case ClassHostRead:
+			hostRead.Observe(e.Latency())
+		case ClassGCStep, ClassGCErase:
+			if e.Die >= 0 {
+				if e.Class == ClassGCStep {
+					dieGCSteps[e.Die]++
+				}
+				if e.End > e.Start {
+					gcWin[e.Die] = append(gcWin[e.Die], window{e.Start, e.End})
+				}
+			}
+		}
+	}
+
+	span := s.End.Sub(s.Start)
+	mergedGC := make(map[int32][]window, len(gcWin))
+	dies := make(map[int32]bool)
+	for d := range flashWin {
+		dies[d] = true
+	}
+	for d := range gcWin {
+		dies[d] = true
+	}
+	for d := range dieCmds {
+		dies[d] = true
+	}
+	order := make([]int32, 0, len(dies))
+	for d := range dies {
+		order = append(order, d)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, d := range order {
+		_, busy := mergeWindows(flashWin[d])
+		mg, gcTime := mergeWindows(gcWin[d])
+		mergedGC[d] = mg
+		ds := DieSummary{
+			Die:       d,
+			FlashCmds: dieCmds[d],
+			BusyTime:  busy,
+			GCTime:    gcTime,
+			GCSteps:   dieGCSteps[d],
+		}
+		if span > 0 {
+			ds.Utilization = float64(busy) / float64(span)
+		}
+		s.Dies = append(s.Dies, ds)
+	}
+
+	// Second pass: split host writes by GC overlap on their die.
+	interfered := metrics.NewHistogram()
+	clean := metrics.NewHistogram()
+	for _, e := range events {
+		if e.Class != ClassHostWrite {
+			continue
+		}
+		if e.Die >= 0 && overlaps(mergedGC[e.Die], e.Start, e.End) {
+			interfered.Observe(e.Latency())
+		} else {
+			clean.Observe(e.Latency())
+		}
+	}
+
+	for p, h := range prioHists {
+		s.PerPrio[p] = latencyStats(h)
+	}
+	s.HostWrite = latencyStats(hostWrite)
+	s.HostRead = latencyStats(hostRead)
+	s.GC.Interfered = latencyStats(interfered)
+	s.GC.Clean = latencyStats(clean)
+	if s.GC.Clean.Mean > 0 && s.GC.Interfered.Count > 0 {
+		s.GC.SlowdownX = float64(s.GC.Interfered.Mean) / float64(s.GC.Clean.Mean)
+	}
+	return s
+}
+
+// String renders the summary as the human-readable report printed by
+// `noftl-trace summarize`.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %v virtual time\n", s.Events, s.End.Sub(s.Start))
+	fmt.Fprintf(&b, "\nevents by class:\n")
+	for c := Class(0); c < NumClasses; c++ {
+		if s.PerClass[c] > 0 {
+			fmt.Fprintf(&b, "  %-14s %d\n", c.String(), s.PerClass[c])
+		}
+	}
+	if len(s.Dies) > 0 {
+		fmt.Fprintf(&b, "\nper-die utilization:\n")
+		fmt.Fprintf(&b, "  %-4s %10s %12s %6s %12s %8s\n", "die", "cmds", "busy", "util", "gc_busy", "gc_steps")
+		for _, d := range s.Dies {
+			fmt.Fprintf(&b, "  %-4d %10d %12v %5.1f%% %12v %8d\n",
+				d.Die, d.FlashCmds, d.BusyTime, d.Utilization*100, d.GCTime, d.GCSteps)
+		}
+	}
+	if len(s.PerPrio) > 0 {
+		prios := make([]int, 0, len(s.PerPrio))
+		for p := range s.PerPrio {
+			prios = append(prios, int(p))
+		}
+		sort.Ints(prios)
+		fmt.Fprintf(&b, "\nflash latency by priority:\n")
+		for _, p := range prios {
+			ls := s.PerPrio[uint8(p)]
+			fmt.Fprintf(&b, "  prio %d: n=%d mean=%v p95=%v p99=%v max=%v\n",
+				p, ls.Count, ls.Mean, ls.P95, ls.P99, ls.Max)
+		}
+	}
+	if s.HostWrite.Count > 0 {
+		fmt.Fprintf(&b, "\nhost writes: n=%d mean=%v p95=%v p99=%v max=%v\n",
+			s.HostWrite.Count, s.HostWrite.Mean, s.HostWrite.P95, s.HostWrite.P99, s.HostWrite.Max)
+	}
+	if s.HostRead.Count > 0 {
+		fmt.Fprintf(&b, "host reads:  n=%d mean=%v p95=%v p99=%v max=%v\n",
+			s.HostRead.Count, s.HostRead.Mean, s.HostRead.P95, s.HostRead.P99, s.HostRead.Max)
+	}
+	if s.GC.Interfered.Count > 0 || s.GC.Clean.Count > 0 {
+		fmt.Fprintf(&b, "\nGC interference on host writes:\n")
+		fmt.Fprintf(&b, "  interfered: n=%d mean=%v p99=%v\n",
+			s.GC.Interfered.Count, s.GC.Interfered.Mean, s.GC.Interfered.P99)
+		fmt.Fprintf(&b, "  clean:      n=%d mean=%v p99=%v\n",
+			s.GC.Clean.Count, s.GC.Clean.Mean, s.GC.Clean.P99)
+		if s.GC.SlowdownX > 0 {
+			fmt.Fprintf(&b, "  slowdown:   %.2fx mean latency under GC\n", s.GC.SlowdownX)
+		}
+	}
+	return b.String()
+}

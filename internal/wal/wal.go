@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"noftl/internal/core"
+	"noftl/internal/obs"
 	"noftl/internal/sim"
 	"noftl/internal/storage"
 )
@@ -129,6 +130,8 @@ type Log struct {
 	appended int64
 	flushes  int64
 	bytes    int64
+
+	tracer *obs.Tracer // nil = tracing off
 }
 
 type sealedPage struct {
@@ -160,6 +163,14 @@ func (l *Log) openPage() {
 	l.cur = make([]byte, l.pageSize)
 	storage.InitPage(l.cur, storage.PageTypeLog, l.hint.ObjectID, uint64(l.curLPN))
 	l.pages = append(l.pages, l.curLPN)
+}
+
+// AttachObs wires the log to the trace recorder.  A nil tracer (the default)
+// keeps tracing off.  Attach before the log sees traffic.
+func (l *Log) AttachObs(tr *obs.Tracer) {
+	l.mu.Lock()
+	l.tracer = tr
+	l.mu.Unlock()
 }
 
 // NextLSN returns the LSN the next appended record will receive.
@@ -219,6 +230,15 @@ func (l *Log) Append(typ RecordType, txnID uint64, objectID uint32, payload []by
 	l.nextLSN++
 	l.appended++
 	l.bytes += int64(len(enc))
+	if l.tracer.Enabled(obs.ClassWALAppend) {
+		// Append is a pure memory operation: it carries no virtual-time span
+		// of its own (durability cost lands on the Flush event).
+		l.tracer.Record(obs.Event{
+			Class: obs.ClassWALAppend, Op: uint8(typ),
+			Die: -1, Block: -1, Page: -1, Region: int32(l.hint.Region),
+			A: int64(rec.LSN), B: int64(len(enc)),
+		})
+	}
 	return rec.LSN, nil
 }
 
@@ -235,6 +255,8 @@ func (l *Log) Flush(now sim.Time) (sim.Time, error) {
 	if l.flushedLSN == l.nextLSN-1 {
 		return now, nil // nothing new
 	}
+	start := now
+	newlyDurable := (l.nextLSN - 1) - l.flushedLSN
 	for _, sp := range l.sealedWr {
 		done, err := l.mgr.WritePage(now, sp.lpn, sp.data, l.hint)
 		if err != nil {
@@ -252,6 +274,13 @@ func (l *Log) Flush(now sim.Time) (sim.Time, error) {
 	now = done
 	l.flushedLSN = l.nextLSN - 1
 	l.flushes++
+	if l.tracer.Enabled(obs.ClassWALSync) {
+		l.tracer.Record(obs.Event{
+			Class: obs.ClassWALSync, Die: -1, Block: -1, Page: -1,
+			Region: int32(l.hint.Region), Start: start, End: now,
+			A: int64(newlyDurable), B: int64(l.flushedLSN),
+		})
+	}
 	return now, nil
 }
 

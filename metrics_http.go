@@ -1,0 +1,160 @@
+package noftl
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// MetricsText renders the database's full metric set in the Prometheus text
+// exposition format (version 0.0.4): the labeled counter and histogram
+// families maintained live by the I/O scheduler and space-manager hooks,
+// plus scrape-time gauges covering every layer (scheduler queue depth,
+// per-die free blocks, per-region occupancy and background-GC debt, buffer
+// pool, WAL, transactions, device totals).  The same text is served on
+// /metrics when a listener is configured with WithMetricsListener.
+func (db *DB) MetricsText() string {
+	db.scrapeGauges()
+	return db.reg.Text()
+}
+
+// scrapeGauges refreshes the point-in-time families in the registry from the
+// layers' snapshot accessors.  Counters that the hot paths do not maintain as
+// labeled children (buffer pool, WAL, transactions, device) are mirrored into
+// the registry here — cumulative values copied at scrape time, which is
+// exactly as fresh as the snapshot the Stats() facade would hand out.
+func (db *DB) scrapeGauges() {
+	reg := db.reg
+
+	reg.Gauge("noftl_up", "Always 1 while the database is open.").With().Set(1)
+	reg.Gauge("noftl_simulated_time_nanoseconds",
+		"Highest simulated (virtual) time observed so far.").With().Set(int64(db.clock.Now()))
+
+	sched := db.space.Scheduler()
+	reg.Gauge("noftl_sched_queue_depth",
+		"Flash commands currently enqueued for asynchronous submission.").With().Set(int64(sched.QueueDepth()))
+
+	dieFree := reg.Gauge("noftl_die_free_blocks",
+		"Free blocks currently available on each die.", "die")
+	for die, free := range db.space.DieFreeBlocks() {
+		dieFree.With(strconv.Itoa(die)).Set(int64(free))
+	}
+
+	space := db.space.Stats()
+	validPages := reg.Gauge("noftl_region_valid_pages",
+		"Logical pages currently mapped into each region.", "region")
+	capPages := reg.Gauge("noftl_region_capacity_pages",
+		"Exported logical capacity of each region in pages.", "region")
+	freeBlocks := reg.Gauge("noftl_region_free_blocks",
+		"Free blocks across each region's dies.", "region")
+	debt := reg.Gauge("noftl_bggc_debt_blocks",
+		"Free-block shortfall relative to the background-GC high watermark, per region.", "region")
+	inBand := reg.Gauge("noftl_bggc_dies_in_band",
+		"Dies at or below the background-GC high watermark, per region.", "region")
+	atLow := reg.Gauge("noftl_bggc_dies_at_low_water",
+		"Dies at or below the foreground-GC low watermark, per region.", "region")
+	victims := reg.Gauge("noftl_bggc_victims_open",
+		"Dies with a partially collected background victim, per region.", "region")
+	for _, r := range space.Regions {
+		validPages.With(r.Name).Set(r.ValidPages)
+		capPages.With(r.Name).Set(r.CapacityPages)
+		freeBlocks.With(r.Name).Set(int64(r.FreeBlocks))
+		debt.With(r.Name).Set(r.BGDebtBlocks)
+		inBand.With(r.Name).Set(int64(r.DiesInBGBand))
+		atLow.With(r.Name).Set(int64(r.DiesAtLowWater))
+		victims.With(r.Name).Set(int64(r.BGVictimsOpen))
+	}
+
+	bp := db.pool.Stats()
+	reg.Counter("noftl_buffer_hits_total", "Buffer-pool hits.").With().Store(bp.Hits)
+	reg.Counter("noftl_buffer_misses_total", "Buffer-pool demand misses.").With().Store(bp.Misses)
+	reg.Counter("noftl_buffer_evictions_total", "Buffer-pool frame evictions.").With().Store(bp.Evictions)
+	reg.Counter("noftl_buffer_writebacks_total", "Dirty pages written back by the buffer pool.").With().Store(bp.Writebacks)
+	reg.Gauge("noftl_buffer_resident_pages", "Pages currently resident in the buffer pool.").With().Set(int64(bp.Resident))
+	reg.Gauge("noftl_buffer_dirty_pages", "Dirty pages currently resident in the buffer pool.").With().Set(int64(bp.Dirty))
+
+	reg.Counter("noftl_txn_started_total", "Transactions started.").With().Store(db.txns.Started())
+	reg.Counter("noftl_txn_committed_total", "Transactions committed.").With().Store(db.txns.Committed())
+	reg.Counter("noftl_txn_aborted_total", "Transactions aborted.").With().Store(db.txns.Aborted())
+
+	if db.log != nil {
+		reg.Counter("noftl_wal_appends_total", "WAL records appended.").With().Store(db.log.Appended())
+		reg.Counter("noftl_wal_flushes_total", "WAL flushes that wrote pages.").With().Store(db.log.Flushes())
+		reg.Gauge("noftl_wal_flushed_lsn", "Highest durable WAL log sequence number.").With().Set(int64(db.log.FlushedLSN()))
+	}
+
+	dev := db.dev.Stats()
+	reg.Counter("noftl_device_reads_total", "Physical page reads on the flash device.").With().Store(dev.Reads)
+	reg.Counter("noftl_device_programs_total", "Physical page programs on the flash device.").With().Store(dev.Programs)
+	reg.Counter("noftl_device_erases_total", "Physical block erases on the flash device.").With().Store(dev.Erases)
+
+	if db.tracer != nil {
+		reg.Counter("noftl_trace_events_recorded_total", "Trace events recorded.").With().Store(db.tracer.Recorded())
+		reg.Counter("noftl_trace_events_dropped_total",
+			"Trace events overwritten after the ring buffer wrapped.").With().Store(db.tracer.Dropped())
+	}
+}
+
+// MetricsAddr returns the bound address of the metrics listener, or "" when
+// none was configured.  With WithMetricsListener("127.0.0.1:0") this is how
+// callers discover the kernel-assigned port.
+func (db *DB) MetricsAddr() string {
+	if db.msrv == nil {
+		return ""
+	}
+	return db.msrv.lis.Addr().String()
+}
+
+// metricsServer is the opt-in HTTP endpoint: Prometheus text on /metrics, a
+// liveness probe on /healthz and the standard pprof handlers under
+// /debug/pprof/ (the same mux, so one port serves both planes).
+type metricsServer struct {
+	lis  net.Listener
+	srv  *http.Server
+	done sync.WaitGroup
+}
+
+func serveMetrics(db *DB, addr string) (*metricsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("noftl: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(db.MetricsText()))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := db.checkOpen(); err != nil {
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ms := &metricsServer{
+		lis: lis,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	ms.done.Add(1)
+	go func() {
+		defer ms.done.Done()
+		_ = ms.srv.Serve(lis) // returns http.ErrServerClosed on shutdown
+	}()
+	return ms, nil
+}
+
+// shutdown closes the listener and waits for the serve loop to exit.
+func (ms *metricsServer) shutdown() {
+	_ = ms.srv.Close()
+	ms.done.Wait()
+}

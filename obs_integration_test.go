@@ -1,0 +1,268 @@
+package noftl
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"noftl/internal/core"
+	"noftl/internal/flash"
+	"noftl/internal/metrics"
+	"noftl/internal/obs"
+)
+
+// obsConfig returns a deliberately tiny device so an update-heavy workload
+// forces garbage collection within a few thousand writes, with background GC
+// disabled so every collection is a foreground (blocking) one — the
+// interference the trace summary must surface.
+func obsConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Flash.Geometry = flash.Geometry{
+		Channels: 2, DiesPerChannel: 2, PlanesPerDie: 1,
+		BlocksPerDie: 16, PagesPerBlock: 16, PageSize: 2048,
+	}
+	cfg.BufferPoolPages = 32
+	cfg.Space = core.DefaultOptions()
+	cfg.Space.DisableBackgroundGC = true
+	return cfg
+}
+
+// obsWorkload creates a region-resident table and churns it: insert rows,
+// then update every row across several rounds with a checkpoint per round so
+// the overwrites actually reach flash and invalidate pages.
+func obsWorkload(t *testing.T, db *DB, rows, rounds int) {
+	t.Helper()
+	err := db.Exec(`
+		CREATE REGION rgHot (MAX_CHIPS=2);
+		CREATE TABLESPACE tsHot (REGION=rgHot);
+		CREATE TABLE H (v VARCHAR(900)) TABLESPACE tsHot;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("H")
+	row := bytes.Repeat([]byte{'x'}, 900)
+	rids := make([]RID, 0, rows)
+	err = db.Update(func(tx *Tx) error {
+		var err error
+		rids, err = tbl.InsertBatch(tx, repeatRows(row, rows))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < rounds; round++ {
+		err = db.Update(func(tx *Tx) error {
+			for _, rid := range rids {
+				if err := tbl.Update(tx, rid, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.FlushAll(db.SimulatedTime()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func repeatRows(row []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = row
+	}
+	return out
+}
+
+// TestObservabilityEndToEnd is the tentpole's integration test: boot with a
+// metrics listener and a trace writer, churn a region until foreground GC
+// fires, then (1) scrape /metrics over HTTP and validate the exposition with
+// the in-repo linter, and (2) load the JSONL trace dumped on Close and check
+// that the summary reproduces the A6 story — host writes that overlap a GC
+// window on their die are slower than clean ones.
+func TestObservabilityEndToEnd(t *testing.T) {
+	var trace bytes.Buffer
+	db, err := OpenConfig(obsConfig(),
+		WithMetricsListener("127.0.0.1:0"),
+		WithTrace(&trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsWorkload(t, db, 150, 14)
+
+	space := db.Stats().Space
+	if space.GCRuns == 0 || space.GCStalls == 0 {
+		t.Fatalf("workload did not force foreground GC: runs=%d stalls=%d (enlarge the churn)",
+			space.GCRuns, space.GCStalls)
+	}
+
+	// --- metrics plane ---
+	addr := db.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr empty with WithMetricsListener configured")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status=%d err=%v", resp.StatusCode, err)
+	}
+	lint := metrics.LintExposition(body)
+	if !lint.Valid() {
+		t.Fatalf("exposition invalid:\n%s", strings.Join(lint.Problems, "\n"))
+	}
+	if len(lint.Families) < 10 {
+		t.Fatalf("want >= 10 metric families, got %d", len(lint.Families))
+	}
+	if len(lint.LabelValues("die")) == 0 {
+		t.Fatal("no die-labeled series in the exposition")
+	}
+	regions := lint.LabelValues("region")
+	found := false
+	for _, r := range regions {
+		if r == "rgHot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("region label values %v do not include rgHot", regions)
+	}
+
+	// The health probe answers while open.
+	hr, err := http.Get("http://" + addr + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status=%v err=%v", hr, err)
+	}
+	hr.Body.Close()
+
+	// Stats surfaces the tracer and queue-depth state.
+	st := db.Stats()
+	if st.Trace.Recorded == 0 {
+		t.Fatal("Stats().Trace.Recorded = 0 with tracing on")
+	}
+	if st.Scheduler.QueueDepth < 0 {
+		t.Fatal("negative queue depth")
+	}
+
+	// --- trace plane ---
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.MetricsAddr() == "" {
+		t.Fatal("MetricsAddr should keep reporting the bound address after Close")
+	}
+	events, err := obs.LoadJSONL(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("Close dumped no events")
+	}
+	sum := obs.Summarize(events)
+	if sum.HostWrite.Count == 0 {
+		t.Fatal("summary has no host writes")
+	}
+	if sum.PerClass[obs.ClassGCStep] == 0 || sum.PerClass[obs.ClassGCErase] == 0 {
+		t.Fatalf("summary has no GC activity: steps=%d erases=%d",
+			sum.PerClass[obs.ClassGCStep], sum.PerClass[obs.ClassGCErase])
+	}
+	// The A6 story: writes that overlapped a GC window on their die are
+	// slower than clean writes.
+	if sum.GC.Interfered.Count == 0 {
+		t.Fatal("no GC-interfered host writes despite foreground stalls")
+	}
+	if sum.GC.SlowdownX <= 1 {
+		t.Fatalf("GC slowdown %.2fx, want > 1x", sum.GC.SlowdownX)
+	}
+	report := sum.String()
+	for _, want := range []string{"per-die utilization", "GC interference", "slowdown:"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("summary report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestMetricsTextWithoutListener checks the passive path: no listener, no
+// tracer — MetricsText still renders a valid exposition and the trace facade
+// degrades to no-ops instead of erroring.
+func TestMetricsTextWithoutListener(t *testing.T) {
+	db, err := OpenConfig(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec("CREATE TABLE P (v VARCHAR(64))"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("P")
+	err = db.Update(func(tx *Tx) error {
+		for i := 0; i < 32; i++ {
+			if _, err := tbl.Insert(tx, []byte(fmt.Sprintf("row-%d", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if db.MetricsAddr() != "" {
+		t.Fatal("MetricsAddr non-empty without a listener")
+	}
+	text := db.MetricsText()
+	lint := metrics.LintExposition([]byte(text))
+	if !lint.Valid() {
+		t.Fatalf("exposition invalid:\n%s", strings.Join(lint.Problems, "\n"))
+	}
+	if _, ok := lint.Families["noftl_trace_events_recorded_total"]; ok {
+		t.Fatal("trace families exported with tracing off")
+	}
+
+	n, err := db.Admin().TraceDump(io.Discard)
+	if err != nil || n != 0 {
+		t.Fatalf("TraceDump without tracer: n=%d err=%v", n, err)
+	}
+	if st := db.Stats(); st.Trace != (TraceStats{}) {
+		t.Fatalf("Trace stats non-zero with tracing off: %+v", st.Trace)
+	}
+}
+
+// TestTraceBufferWithoutWriter checks WithTraceBuffer alone: tracing is live
+// and reachable through Admin().TraceDump mid-run.
+func TestTraceBufferWithoutWriter(t *testing.T) {
+	db, err := OpenConfig(smallConfig(), WithTraceBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec("CREATE TABLE Q (v VARCHAR(64))"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("Q")
+	err = db.Update(func(tx *Tx) error {
+		_, err := tbl.Insert(tx, []byte("hello"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := db.Admin().TraceDump(&buf)
+	if err != nil || n == 0 {
+		t.Fatalf("TraceDump: n=%d err=%v", n, err)
+	}
+	events, err := obs.LoadJSONL(&buf)
+	if err != nil || len(events) != n {
+		t.Fatalf("round trip: %d events, err=%v (dumped %d)", len(events), err, n)
+	}
+}

@@ -1,6 +1,7 @@
 package noftl
 
 import (
+	"io"
 	"time"
 
 	"noftl/internal/core"
@@ -106,6 +107,33 @@ func WithReadAhead(pages int) Option {
 // dirty pages.  It is on by default.
 func WithGroupWriteBack(enabled bool) Option {
 	return func(c *Config) { c.DisableGroupWriteBack = !enabled }
+}
+
+// WithTrace enables event tracing and dumps the recorded events to w as
+// JSONL when the database is closed (the stream the noftl-trace CLI
+// consumes).  Tracing is off by default; see Config.TraceWriter.
+func WithTrace(w io.Writer) Option {
+	return func(c *Config) { c.TraceWriter = w }
+}
+
+// WithTraceBuffer sets the trace ring-buffer capacity in events and enables
+// tracing (even without a TraceWriter — the events are then reachable through
+// Admin().TraceDump).  Zero keeps the 65536-event default capacity.
+func WithTraceBuffer(n int) Option {
+	return func(c *Config) {
+		c.TraceBufferEvents = n
+		if c.TraceBufferEvents <= 0 {
+			c.TraceBufferEvents = -1 // explicit "enabled, default capacity"
+		}
+	}
+}
+
+// WithMetricsListener serves Prometheus text metrics (plus /healthz and
+// pprof) on an HTTP listener at addr, e.g. "127.0.0.1:9090" or
+// "127.0.0.1:0" for a free port (DB.MetricsAddr() reports the bound
+// address).
+func WithMetricsListener(addr string) Option {
+	return func(c *Config) { c.MetricsAddr = addr }
 }
 
 // WithPaperScale configures the flash device like the paper's evaluation

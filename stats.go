@@ -36,6 +36,8 @@ type Stats struct {
 	// Objects holds the per-object physical I/O counters consumed by the
 	// Region Advisor, sorted by I/O rate.
 	Objects []ObjectCounters
+	// Trace covers the event tracer (zero value when tracing is off).
+	Trace TraceStats
 	// Host I/O latencies aggregated over all regions
 	ReadLatency  metrics.Snapshot
 	WriteLatency metrics.Snapshot
@@ -63,6 +65,20 @@ type SchedulerStats struct {
 	// (blocking) collections.
 	GCSteps  int64
 	GCStalls int64
+	// QueueDepth is the number of flash commands enqueued for asynchronous
+	// submission at snapshot time (MaxQueueDepth is the high-water mark).
+	QueueDepth int64
+}
+
+// TraceStats is a snapshot of the event tracer's counters (all zero when
+// tracing is off).
+type TraceStats struct {
+	// Recorded is the total number of events ever recorded.
+	Recorded int64
+	// Dropped is the number of events overwritten after the ring wrapped.
+	Dropped int64
+	// Retained is the number of events currently held in the ring buffer.
+	Retained int64
 }
 
 // WALStats is a snapshot of the write-ahead log's counters.
@@ -134,14 +150,23 @@ func (db *DB) Stats() Stats {
 			FlushedLSN: db.log.FlushedLSN(),
 		}
 	}
+	if db.tracer != nil {
+		st.Trace = TraceStats{
+			Recorded: db.tracer.Recorded(),
+			Dropped:  db.tracer.Dropped(),
+			Retained: int64(db.tracer.Len()),
+		}
+	}
 	return st
 }
 
 // schedulerStats snapshots the I/O scheduler's metric set.
 func (db *DB) schedulerStats() SchedulerStats {
-	set := db.space.Scheduler().Metrics()
+	sched := db.space.Scheduler()
+	set := sched.Metrics()
 	c := set.CounterValues()
 	return SchedulerStats{
+		QueueDepth:    int64(sched.QueueDepth()),
 		Batches:       c["iosched.batches"],
 		Requests:      c["iosched.requests"],
 		MaxBatch:      set.Gauge("iosched.max_batch_size").Value(),
