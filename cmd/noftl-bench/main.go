@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -43,8 +44,11 @@ type jsonDoc struct {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6 or all")
+		"comma-separated experiments to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6, tpcc or all")
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
+	workers := flag.Int("workers", 8, "parallel worker goroutines for the tpcc scaling experiment")
+	minTPCCScaling := flag.Float64("min-tpcc-scaling", 4.0,
+		"fail the tpcc experiment when N-worker wall-clock throughput scales below this factor (capped at NumCPU/2; skipped on single-core machines; 0 disables)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
 	baselinePath := flag.String("baseline", "", "compare gated metrics against this baseline JSON and fail on regression")
 	baselineThreshold := flag.Float64("baseline-threshold", 0.10, "relative regression tolerated against -baseline")
@@ -111,7 +115,7 @@ func main() {
 	known := map[string]bool{
 		"all": true, "figure2": true, "figure3": true, "headline": true,
 		"parallelism": true, "hotcold": true, "ftl": true, "sweep": true,
-		"batch": true, "batch_dml": true, "a6": true,
+		"batch": true, "batch_dml": true, "a6": true, "tpcc": true,
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*experiment, ",") {
@@ -120,7 +124,7 @@ func main() {
 			continue
 		}
 		if !known[name] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, a6 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6, tpcc or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
@@ -221,6 +225,35 @@ func main() {
 		})
 	}
 
+	if want("tpcc") {
+		run("tpcc", "TPC-C concurrency scaling: 1 vs N parallel workers", func() (interface{}, error) {
+			res, err := experiments.RunTPCCScaling(scale, *workers)
+			if err != nil {
+				return nil, err
+			}
+			say("%s\n", res.Table())
+			say("%s\n", res.String())
+			// Wall-clock scaling can only manifest on machines with spare
+			// cores: require min(-min-tpcc-scaling, NumCPU/2) and skip the
+			// gate entirely on single-core machines, where the two runs are
+			// time-sliced onto the same CPU.
+			if *minTPCCScaling > 0 {
+				if res.NumCPU < 2 {
+					say("tpcc scaling gate skipped: only %d CPU available\n", res.NumCPU)
+				} else {
+					required := math.Min(*minTPCCScaling, float64(res.NumCPU)/2)
+					if res.Scaling < required {
+						return nil, fmt.Errorf(
+							"wall-clock scaling %.2fx with %d workers is below the required %.2fx (NumCPU=%d, -min-tpcc-scaling=%.2f)",
+							res.Scaling, res.Parallel.Workers, required, res.NumCPU, *minTPCCScaling)
+					}
+					say("tpcc scaling gate passed: %.2fx >= required %.2fx\n", res.Scaling, required)
+				}
+			}
+			return res, nil
+		})
+	}
+
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -293,6 +326,7 @@ type baselineDoc struct {
 		Batch    *experiments.BatchedIOResult    `json:"batch"`
 		BatchDML *experiments.BatchDMLResult     `json:"batch_dml"`
 		A6       *experiments.BackgroundGCResult `json:"a6"`
+		TPCC     *experiments.TPCCScalingResult  `json:"tpcc"`
 	} `json:"experiments"`
 }
 
@@ -347,6 +381,13 @@ func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, err
 			cur.Experiments.BatchDML.InsertSpeedup, base.Experiments.BatchDML.InsertSpeedup)
 		lowerBound("batch_dml read speedup",
 			cur.Experiments.BatchDML.GetSpeedup, base.Experiments.BatchDML.GetSpeedup)
+	}
+	if cur.Experiments.TPCC != nil && base.Experiments.TPCC != nil {
+		// Only the virtual-time (simulated) throughput is machine-independent
+		// enough to gate; the wall-clock scaling factor is enforced at run
+		// time by -min-tpcc-scaling with a NumCPU-aware bar instead.
+		lowerBound("tpcc virtual TPS (1 worker)",
+			cur.Experiments.TPCC.Baseline.TPS, base.Experiments.TPCC.Baseline.TPS)
 	}
 	if cur.Experiments.A6 != nil && base.Experiments.A6 != nil {
 		upperBound("A6 write amplification (hot/cold separated)", cur.Experiments.A6.SeparatedWA, base.Experiments.A6.SeparatedWA)

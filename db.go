@@ -71,6 +71,7 @@ func openOn(cfg Config, dev *flash.Device) (*DB, error) {
 	db.pool.Configure(buffer.Options{
 		ReadAhead:      cfg.ReadAheadPages,
 		GroupWriteBack: !cfg.DisableGroupWriteBack,
+		Shards:         cfg.BufferPoolShards,
 	})
 
 	// The default tablespace lives in the default region; the catalog and
@@ -87,6 +88,9 @@ func openOn(cfg Config, dev *flash.Device) (*DB, error) {
 		db.objStats.Register("WAL", "log", "SYSTEM")
 		db.log = wal.New(db.space, defTS.Hint(walObj, flash.FlagLog), dev.Geometry().PageSize)
 		db.log.AttachObs(db.tracer)
+		if cfg.WALCommitBatch > 0 || cfg.WALCommitDelay > 0 {
+			db.log.SetGroupCommit(cfg.WALCommitBatch, cfg.WALCommitDelay)
+		}
 	}
 	db.txns = txn.NewManager(txn.NewLockManager(cfg.LockTimeout), db.log, db.clock)
 	if cfg.MetricsAddr != "" {

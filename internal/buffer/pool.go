@@ -3,6 +3,12 @@
 // eviction, pin/unpin, per-frame latches, dirty-page write-back and
 // background flushers.
 //
+// The frame table is sharded by LPN hash: each shard owns a disjoint set of
+// frames, its own hash table and its own CLOCK hand, so concurrent fetchers
+// that touch different pages almost never contend on a mutex.  Frame
+// contents are protected by per-frame latches exactly as before; the shard
+// mutex only covers the mapping table, pin counts and eviction state.
+//
 // Physical page reads and writes consume virtual time on the flash device;
 // the pool threads the caller's virtual-time cursor through every operation
 // so that buffer misses and dirty evictions show up in transaction response
@@ -41,7 +47,8 @@ type BatchBackend interface {
 
 // Recorder receives physical I/O notifications per database object; the DB
 // layer uses it to maintain the per-object statistics consumed by the Region
-// Advisor.  A nil Recorder disables recording.
+// Advisor.  A nil Recorder disables recording.  Implementations must be safe
+// for concurrent use.
 type Recorder interface {
 	RecordPhysRead(objectID uint32, pages int64)
 	RecordPhysWrite(objectID uint32, pages int64)
@@ -49,20 +56,33 @@ type Recorder interface {
 
 // Errors returned by the pool.
 var (
-	// ErrPoolFull reports that every frame is pinned and nothing can be
-	// evicted.
+	// ErrPoolFull reports that every evictable frame of the page's shard is
+	// pinned and nothing can be evicted.
 	ErrPoolFull = errors.New("buffer: all frames pinned")
 	// ErrNotCached reports a FlushPage of a page that is not resident.
 	ErrNotCached = errors.New("buffer: page not resident")
 )
 
-// Frame is one page-sized slot of the pool.
+// poolShard is one slice of the pool: a disjoint set of frames with its own
+// mapping table and CLOCK hand.  A page lives in exactly one shard (chosen by
+// LPN hash), so two operations on different shards never share a mutex.
+type poolShard struct {
+	mu     sync.Mutex
+	frames []*Frame
+	table  map[core.LPN]int // lpn -> index into frames
+	hand   int
+}
+
+// Frame is one page-sized slot of the pool.  A frame belongs permanently to
+// one shard; the shard mutex guards every field except data (per-frame latch)
+// and dirty (atomic).
 type Frame struct {
 	mu         sync.RWMutex // content latch
+	shard      *poolShard
 	lpn        core.LPN
 	data       []byte
 	hint       core.Hint
-	dirty      atomic.Bool // set by MarkDirty without the pool mutex
+	dirty      atomic.Bool // set by MarkDirty without the shard mutex
 	valid      bool
 	pins       int
 	ref        bool
@@ -75,7 +95,6 @@ type Frame struct {
 type Handle struct {
 	pool  *Pool
 	frame *Frame
-	idx   int
 }
 
 // Data returns the frame's page buffer.  The caller must hold the frame
@@ -105,16 +124,18 @@ func (h *Handle) MarkDirty() {
 
 // Release unpins the page.
 func (h *Handle) Release() {
-	h.pool.mu.Lock()
+	s := h.frame.shard
+	s.mu.Lock()
 	if h.frame.pins > 0 {
 		h.frame.pins--
 	}
-	h.pool.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Stats is a snapshot of pool counters.
 type Stats struct {
 	Frames     int
+	Shards     int
 	Resident   int
 	Dirty      int
 	Hits       int64
@@ -140,8 +161,9 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Options tune the pool's batched-I/O behaviour.  The zero value disables
-// both features (single-page I/O only).
+// Options tune the pool's batched-I/O behaviour and sharding.  The zero
+// value disables read-ahead and group write-back and keeps the automatic
+// shard count.
 type Options struct {
 	// ReadAhead is the number of sequentially-next pages staged through the
 	// batch backend on a demand miss.  Zero disables read-ahead.
@@ -149,29 +171,50 @@ type Options struct {
 	// GroupWriteBack makes FlushAll/FlushSome write dirty pages as one
 	// die-striped batch instead of one page at a time.
 	GroupWriteBack bool
+	// Shards overrides the automatic frame-table shard count (clamped so
+	// every shard keeps at least two frames).  Zero keeps the automatic
+	// choice.  Resharding is only honoured while the pool is empty; set it
+	// before the pool sees traffic.
+	Shards int
 }
 
-// Pool is the buffer pool.
+// Pool is the buffer pool.  All methods are safe for concurrent use once the
+// pool is configured; AttachObs and Configure must happen before the pool
+// sees traffic.
 type Pool struct {
-	mu       sync.Mutex
 	backend  Backend
 	batch    BatchBackend // nil when the backend has no batch interface
 	recorder Recorder
 	tracer   *obs.Tracer // nil = tracing off (the only cost is nil compares)
-	frames   []*Frame
-	table    map[core.LPN]int
-	hand     int
+	shards   []*poolShard
+	nframes  int
 	pageSize int
 	opts     Options
 
-	hits         int64
-	misses       int64
-	newPages     int64
-	evictions    int64
-	writebacks   int64
-	prefetches   int64
-	prefetchHits int64
-	groupFlushes int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	newPages     atomic.Int64
+	evictions    atomic.Int64
+	writebacks   atomic.Int64
+	prefetches   atomic.Int64
+	prefetchHits atomic.Int64
+	groupFlushes atomic.Int64
+}
+
+// autoShards picks the shard count for a pool of frameCount frames: one
+// shard per 64 frames, capped at 16, rounded down to a power of two.  Small
+// pools keep a single shard, so their eviction behaviour is exactly that of
+// a classic CLOCK pool.
+func autoShards(frameCount int) int {
+	n := frameCount / 64
+	if n > 16 {
+		n = 16
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
 }
 
 // New creates a pool of frameCount frames of pageSize bytes over the
@@ -183,37 +226,92 @@ func New(backend Backend, frameCount, pageSize int, recorder Recorder) *Pool {
 	p := &Pool{
 		backend:  backend,
 		recorder: recorder,
-		frames:   make([]*Frame, frameCount),
-		table:    make(map[core.LPN]int, frameCount),
+		nframes:  frameCount,
 		pageSize: pageSize,
 	}
 	if bb, ok := backend.(BatchBackend); ok {
 		p.batch = bb
 	}
-	for i := range p.frames {
-		p.frames[i] = &Frame{data: make([]byte, pageSize)}
-	}
+	p.buildShards(autoShards(frameCount))
 	return p
+}
+
+// buildShards partitions the pool's frames over n shards (contiguous chunks,
+// so shard sizes differ by at most one).  Only called while the pool is
+// empty.
+func (p *Pool) buildShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.nframes/2 {
+		n = p.nframes / 2
+		if n < 1 {
+			n = 1
+		}
+	}
+	p.shards = make([]*poolShard, n)
+	base := p.nframes / n
+	extra := p.nframes % n
+	for i := range p.shards {
+		size := base
+		if i < extra {
+			size++
+		}
+		s := &poolShard{
+			frames: make([]*Frame, size),
+			table:  make(map[core.LPN]int, size),
+		}
+		for j := range s.frames {
+			s.frames[j] = &Frame{shard: s, data: make([]byte, p.pageSize)}
+		}
+		p.shards[i] = s
+	}
+}
+
+// shardOf maps an LPN to its shard.  The hash is a 64-bit mix so sequential
+// LPNs (extent neighbours) spread over all shards.
+func (p *Pool) shardOf(lpn core.LPN) *poolShard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint64(lpn)
+	h ^= h >> 33
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return p.shards[h%uint64(len(p.shards))]
 }
 
 // AttachObs wires the pool to the trace recorder.  A nil tracer (the
 // default) keeps tracing off; hook sites then cost one nil compare.  Attach
 // before the pool sees traffic.
 func (p *Pool) AttachObs(tr *obs.Tracer) {
-	p.mu.Lock()
 	p.tracer = tr
-	p.mu.Unlock()
 }
 
 // Configure sets the pool's batched-I/O options.  Options that need the
 // batch backend are silently inert when the backend does not provide it.
+// Configure before the pool sees traffic.
 func (p *Pool) Configure(opts Options) {
-	p.mu.Lock()
 	if opts.ReadAhead < 0 {
 		opts.ReadAhead = 0
 	}
 	p.opts = opts
-	p.mu.Unlock()
+	if opts.Shards > 0 && opts.Shards != len(p.shards) && p.empty() {
+		p.buildShards(opts.Shards)
+	}
+}
+
+// empty reports whether no page is resident (safe to reshard).
+func (p *Pool) empty() bool {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n := len(s.table)
+		s.mu.Unlock()
+		if n > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // PageSize returns the frame size in bytes.
@@ -221,36 +319,43 @@ func (p *Pool) PageSize() int { return p.pageSize }
 
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	st := Stats{
-		Frames:       len(p.frames),
-		Hits:         p.hits,
-		Misses:       p.misses,
-		NewPages:     p.newPages,
-		Evictions:    p.evictions,
-		Writebacks:   p.writebacks,
-		Prefetches:   p.prefetches,
-		PrefetchHits: p.prefetchHits,
-		GroupFlushes: p.groupFlushes,
+		Frames:       p.nframes,
+		Shards:       len(p.shards),
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		NewPages:     p.newPages.Load(),
+		Evictions:    p.evictions.Load(),
+		Writebacks:   p.writebacks.Load(),
+		Prefetches:   p.prefetches.Load(),
+		PrefetchHits: p.prefetchHits.Load(),
+		GroupFlushes: p.groupFlushes.Load(),
 	}
-	for _, f := range p.frames {
-		if f.valid {
-			st.Resident++
-			if f.dirty.Load() {
-				st.Dirty++
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.valid {
+				st.Resident++
+				if f.dirty.Load() {
+					st.Dirty++
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return st
 }
 
 // ResetCounters zeroes the hit/miss/eviction counters (after warm-up).
 func (p *Pool) ResetCounters() {
-	p.mu.Lock()
-	p.hits, p.misses, p.newPages, p.evictions, p.writebacks = 0, 0, 0, 0, 0
-	p.prefetches, p.prefetchHits, p.groupFlushes = 0, 0, 0
-	p.mu.Unlock()
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.newPages.Store(0)
+	p.evictions.Store(0)
+	p.writebacks.Store(0)
+	p.prefetches.Store(0)
+	p.prefetchHits.Store(0)
+	p.groupFlushes.Store(0)
 }
 
 // Fetch pins the page, reading it from the backend on a miss.  The returned
@@ -262,36 +367,37 @@ func (p *Pool) ResetCounters() {
 // almost no extra virtual time) and parked unpinned in the pool, so an
 // upcoming sequential access hits in memory instead of missing.
 func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.Time, error) {
-	p.mu.Lock()
-	if idx, ok := p.table[lpn]; ok {
-		f := p.frames[idx]
+	s := p.shardOf(lpn)
+	s.mu.Lock()
+	if idx, ok := s.table[lpn]; ok {
+		f := s.frames[idx]
 		f.pins++
 		f.ref = true
 		// The demander knows the page's true placement hint; refresh it so a
 		// frame staged by read-ahead across an object boundary is written
 		// back (and charged) under the right object, not the prefetcher's.
 		f.hint = hint
-		p.hits++
+		p.hits.Add(1)
 		if f.prefetched {
 			f.prefetched = false
-			p.prefetchHits++
+			p.prefetchHits.Add(1)
 		}
-		p.mu.Unlock()
-		return &Handle{pool: p, frame: f, idx: idx}, now, nil
+		s.mu.Unlock()
+		return &Handle{pool: p, frame: f}, now, nil
 	}
-	p.misses++
+	p.misses.Add(1)
 	if p.tracer.Enabled(obs.ClassBufMiss) {
 		p.tracer.Record(obs.Event{
 			Class: obs.ClassBufMiss, Die: -1, Block: -1, Page: -1,
 			Region: int32(hint.Region), Start: now, End: now, A: int64(lpn),
 		})
 	}
-	idx, now, err := p.allocFrameLocked(now)
+	idx, now, err := p.allocFrameLocked(s, now)
 	if err != nil {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, now, err
 	}
-	f := p.frames[idx]
+	f := s.frames[idx]
 	f.lpn = lpn
 	f.hint = hint
 	f.valid = true
@@ -301,32 +407,35 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 	f.ref = true
 	// Hold the frame's content latch across the read so that a concurrent
 	// Fetch of the same page (which hits in the table the moment we publish
-	// it) blocks on the latch until the data has actually arrived.
+	// it) blocks on the latch until the data has actually arrived.  The
+	// latch acquisition cannot block: the frame had zero pins, so no latch
+	// holder (or waiter) can exist.
 	f.mu.Lock()
-	p.table[lpn] = idx
+	s.table[lpn] = idx
+	s.mu.Unlock()
 
-	// Stage sequential read-ahead frames while still holding p.mu.
+	// Stage sequential read-ahead frames (each in its own shard, one shard
+	// lock at a time — the demand shard's lock is already released).
 	var pfFrames []*Frame
 	if p.opts.ReadAhead > 0 && p.batch != nil {
-		pfFrames, now = p.stagePrefetchLocked(now, lpn, hint)
+		pfFrames, now = p.stagePrefetch(now, lpn, hint)
 	}
-	p.mu.Unlock()
 
 	if len(pfFrames) == 0 {
 		_, done, err := p.backend.ReadPage(now, lpn, f.data)
 		f.mu.Unlock()
 		if err != nil {
-			p.mu.Lock()
-			delete(p.table, lpn)
+			s.mu.Lock()
+			delete(s.table, lpn)
 			f.valid = false
 			f.pins = 0
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil, done, fmt.Errorf("buffer: fetch lpn %d: %w", lpn, err)
 		}
 		if p.recorder != nil {
 			p.recorder.RecordPhysRead(hint.ObjectID, 1)
 		}
-		return &Handle{pool: p, frame: f, idx: idx}, done, nil
+		return &Handle{pool: p, frame: f}, done, nil
 	}
 
 	// Batched path: demand page first, prefetch pages after it.
@@ -341,8 +450,9 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 	reads, _ := p.batch.ReadPages(now, lpns, bufs)
 
 	goodPages := int64(0)
-	p.mu.Lock()
 	for i, pf := range pfFrames {
+		ps := pf.shard
+		ps.mu.Lock()
 		pf.mu.Unlock()
 		// Drop the staging pin only: a concurrent Fetch may have hit the
 		// published frame and pinned it while the batch was in flight.
@@ -354,23 +464,23 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 			// concurrent trim): unpublish the frame unless someone else
 			// still holds it pinned.
 			if pf.pins == 0 {
-				delete(p.table, pf.lpn)
+				delete(ps.table, pf.lpn)
 				pf.valid = false
 				pf.prefetched = false
 			}
-			continue
+		} else {
+			goodPages++
 		}
-		goodPages++
+		ps.mu.Unlock()
 	}
-	p.mu.Unlock()
 	demand := reads[0]
 	f.mu.Unlock()
 	if demand.Err != nil {
-		p.mu.Lock()
-		delete(p.table, lpn)
+		s.mu.Lock()
+		delete(s.table, lpn)
 		f.valid = false
 		f.pins = 0
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, demand.Done, fmt.Errorf("buffer: fetch lpn %d: %w", lpn, demand.Err)
 	}
 	if p.recorder != nil {
@@ -381,7 +491,7 @@ func (p *Pool) Fetch(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.T
 	// The caller pays for its own page only; the prefetched pages overlap
 	// on other dies and their (near-identical) completion is not the
 	// caller's concern.
-	return &Handle{pool: p, frame: f, idx: idx}, demand.Done, nil
+	return &Handle{pool: p, frame: f}, demand.Done, nil
 }
 
 // FetchMany pins a set of pages, reading every non-resident page from the
@@ -413,69 +523,101 @@ func (p *Pool) FetchMany(now sim.Time, lpns []core.LPN, hint core.Hint) ([]*Hand
 		return handles, now, nil
 	}
 
-	// Pin residents and allocate+publish frames for misses under one lock
-	// acquisition, then read all misses as a single batch.
+	// Group the requested positions by shard (first-appearance order keeps
+	// eviction write-back chaining deterministic), pin residents and
+	// allocate+publish frames for misses one shard lock at a time, then read
+	// all misses as a single batch.
+	shardPos := make(map[*poolShard][]int)
+	order := make([]*poolShard, 0, len(p.shards))
+	for i, lpn := range lpns {
+		s := p.shardOf(lpn)
+		if _, seen := shardPos[s]; !seen {
+			order = append(order, s)
+		}
+		shardPos[s] = append(shardPos[s], i)
+	}
+
 	type missFrame struct {
-		idx   int
+		pos   int
 		frame *Frame
 	}
 	var misses []missFrame
-	p.mu.Lock()
-	for i, lpn := range lpns {
-		if idx, ok := p.table[lpn]; ok {
-			f := p.frames[idx]
-			f.pins++
-			f.ref = true
+	var allocErr error
+	for _, s := range order {
+		s.mu.Lock()
+		for _, i := range shardPos[s] {
+			lpn := lpns[i]
+			if idx, ok := s.table[lpn]; ok {
+				f := s.frames[idx]
+				f.pins++
+				f.ref = true
+				f.hint = hint
+				p.hits.Add(1)
+				if f.prefetched {
+					f.prefetched = false
+					p.prefetchHits.Add(1)
+				}
+				handles[i] = &Handle{pool: p, frame: f}
+				continue
+			}
+			p.misses.Add(1)
+			if p.tracer.Enabled(obs.ClassBufMiss) {
+				p.tracer.Record(obs.Event{
+					Class: obs.ClassBufMiss, Die: -1, Block: -1, Page: -1,
+					Region: int32(hint.Region), Start: now, End: now, A: int64(lpn),
+				})
+			}
+			idx, t, err := p.allocFrameLocked(s, now)
+			if err != nil {
+				allocErr = err
+				now = t
+				break
+			}
+			now = t
+			f := s.frames[idx]
+			f.lpn = lpn
 			f.hint = hint
-			p.hits++
-			if f.prefetched {
-				f.prefetched = false
-				p.prefetchHits++
-			}
-			handles[i] = &Handle{pool: p, frame: f, idx: idx}
-			continue
+			f.valid = true
+			f.dirty.Store(false)
+			f.prefetched = false
+			f.pins = 1
+			f.ref = true
+			// Hold the content latch until the batch read lands, so a
+			// concurrent Fetch that hits the published frame blocks until
+			// the data is there (cannot block here: the frame had no pins).
+			f.mu.Lock()
+			s.table[lpn] = idx
+			handles[i] = &Handle{pool: p, frame: f}
+			misses = append(misses, missFrame{pos: i, frame: f})
 		}
-		p.misses++
-		if p.tracer.Enabled(obs.ClassBufMiss) {
-			p.tracer.Record(obs.Event{
-				Class: obs.ClassBufMiss, Die: -1, Block: -1, Page: -1,
-				Region: int32(hint.Region), Start: now, End: now, A: int64(lpn),
-			})
+		s.mu.Unlock()
+		if allocErr != nil {
+			break
 		}
-		idx, t, err := p.allocFrameLocked(now)
-		if err != nil {
-			// Unwind the misses staged so far: their frames are published
-			// with the content latch held but no data yet.  Unlatch and
-			// unpublish them before dropping every pin, or a later Fetch of
-			// those LPNs would block forever on the latch.
-			for _, m := range misses {
-				m.frame.mu.Unlock()
-				delete(p.table, m.frame.lpn)
-				m.frame.valid = false
-				m.frame.pins = 0
-				handles[m.idx] = nil
-			}
-			p.mu.Unlock()
-			releaseAll()
-			return nil, t, err
-		}
-		now = t
-		f := p.frames[idx]
-		f.lpn = lpn
-		f.hint = hint
-		f.valid = true
-		f.dirty.Store(false)
-		f.prefetched = false
-		f.pins = 1
-		f.ref = true
-		// Hold the content latch until the batch read lands, so a concurrent
-		// Fetch that hits the published frame blocks until the data is there.
-		f.mu.Lock()
-		p.table[lpn] = idx
-		handles[i] = &Handle{pool: p, frame: f, idx: idx}
-		misses = append(misses, missFrame{idx: i, frame: f})
 	}
-	p.mu.Unlock()
+	if allocErr != nil {
+		// Unwind every staged miss: their frames are published with the
+		// content latch held but no data yet.  Unlatch, drop the staging
+		// pin, and unpublish unless a concurrent Fetch pinned the frame in
+		// the meantime.
+		for _, m := range misses {
+			f := m.frame
+			ms := f.shard
+			ms.mu.Lock()
+			f.mu.Unlock()
+			if f.pins > 0 {
+				f.pins--
+			}
+			if f.pins == 0 {
+				delete(ms.table, f.lpn)
+				f.valid = false
+			}
+			ms.mu.Unlock()
+			handles[m.pos] = nil
+		}
+		releaseAll()
+		return nil, now, allocErr
+	}
 
 	if len(misses) == 0 {
 		return handles, now, nil
@@ -496,15 +638,16 @@ func (p *Pool) FetchMany(now sim.Time, lpns []core.LPN, hint core.Hint) ([]*Hand
 	}
 	if firstErr != nil {
 		releaseAll()
-		p.mu.Lock()
 		for _, m := range misses {
 			f := m.frame
+			ms := f.shard
+			ms.mu.Lock()
 			if f.pins == 0 {
-				delete(p.table, f.lpn)
+				delete(ms.table, f.lpn)
 				f.valid = false
 			}
+			ms.mu.Unlock()
 		}
-		p.mu.Unlock()
 		return nil, end, firstErr
 	}
 	if p.recorder != nil {
@@ -538,24 +681,26 @@ func (p *Pool) WriteThrough(now sim.Time, writes []core.PageWrite) (sim.Time, er
 	if err != nil {
 		return now, err
 	}
-	p.mu.Lock()
 	for _, w := range writes {
-		if idx, ok := p.table[w.LPN]; ok {
-			f := p.frames[idx]
+		s := p.shardOf(w.LPN)
+		s.mu.Lock()
+		if idx, ok := s.table[w.LPN]; ok {
+			f := s.frames[idx]
 			if f.pins == 0 {
-				delete(p.table, w.LPN)
+				delete(s.table, w.LPN)
 				f.valid = false
 				f.dirty.Store(false)
 				f.prefetched = false
 			}
 		}
-		p.writebacks++
+		s.mu.Unlock()
+		p.writebacks.Add(1)
 		if p.recorder != nil {
 			p.recorder.RecordPhysWrite(w.Hint.ObjectID, 1)
 		}
 	}
 	if p.batch != nil {
-		p.groupFlushes++
+		p.groupFlushes.Add(1)
 	}
 	if p.tracer.Enabled(obs.ClassBufWriteBack) {
 		p.tracer.Record(obs.Event{
@@ -564,30 +709,34 @@ func (p *Pool) WriteThrough(now sim.Time, writes []core.PageWrite) (sim.Time, er
 			Start: now, End: done, A: int64(len(writes)),
 		})
 	}
-	p.mu.Unlock()
 	return done, nil
 }
 
-// stagePrefetchLocked allocates and publishes frames for the mapped,
-// non-resident pages sequentially following lpn, returning them with their
-// content latches held.  Caller holds p.mu; the returned time includes any
-// eviction write-back the allocations caused.
-func (p *Pool) stagePrefetchLocked(now sim.Time, lpn core.LPN, hint core.Hint) ([]*Frame, sim.Time) {
+// stagePrefetch allocates and publishes frames for the mapped, non-resident
+// pages sequentially following lpn, returning them with their content
+// latches held and one staging pin each.  Each page is staged under its own
+// shard's lock; the returned time includes any eviction write-back the
+// allocations caused.
+func (p *Pool) stagePrefetch(now sim.Time, lpn core.LPN, hint core.Hint) ([]*Frame, sim.Time) {
 	var staged []*Frame
 	for i := 1; i <= p.opts.ReadAhead; i++ {
 		next := lpn + core.LPN(i)
-		if _, resident := p.table[next]; resident {
-			continue
-		}
 		if !p.batch.Mapped(next) {
 			continue
 		}
-		idx, t, err := p.allocFrameLocked(now)
+		s := p.shardOf(next)
+		s.mu.Lock()
+		if _, resident := s.table[next]; resident {
+			s.mu.Unlock()
+			continue
+		}
+		idx, t, err := p.allocFrameLocked(s, now)
 		if err != nil {
+			s.mu.Unlock()
 			break // every frame pinned: the pool is too hot to prefetch into
 		}
 		now = t
-		pf := p.frames[idx]
+		pf := s.frames[idx]
 		pf.lpn = next
 		pf.hint = hint
 		pf.valid = true
@@ -599,9 +748,10 @@ func (p *Pool) stagePrefetchLocked(now sim.Time, lpn core.LPN, hint core.Hint) (
 		pf.pins = 1
 		pf.ref = false // evict-first until a demand access promotes it
 		pf.mu.Lock()
-		p.table[next] = idx
+		s.table[next] = idx
+		s.mu.Unlock()
 		staged = append(staged, pf)
-		p.prefetches++
+		p.prefetches.Add(1)
 	}
 	return staged, now
 }
@@ -609,11 +759,12 @@ func (p *Pool) stagePrefetchLocked(now sim.Time, lpn core.LPN, hint core.Hint) (
 // NewPage pins a frame for a brand-new page without reading the backend.
 // The frame starts zeroed and dirty.
 func (p *Pool) NewPage(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim.Time, error) {
-	p.mu.Lock()
-	if idx, ok := p.table[lpn]; ok {
+	s := p.shardOf(lpn)
+	s.mu.Lock()
+	if idx, ok := s.table[lpn]; ok {
 		// The page is already resident (e.g. re-created after a trim); reuse
 		// the frame and reset its contents.
-		f := p.frames[idx]
+		f := s.frames[idx]
 		f.pins++
 		f.ref = true
 		f.prefetched = false
@@ -621,17 +772,17 @@ func (p *Pool) NewPage(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim
 		for i := range f.data {
 			f.data[i] = 0
 		}
-		p.newPages++
-		p.mu.Unlock()
-		return &Handle{pool: p, frame: f, idx: idx}, now, nil
+		p.newPages.Add(1)
+		s.mu.Unlock()
+		return &Handle{pool: p, frame: f}, now, nil
 	}
-	p.newPages++
-	idx, now, err := p.allocFrameLocked(now)
+	p.newPages.Add(1)
+	idx, now, err := p.allocFrameLocked(s, now)
 	if err != nil {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, now, err
 	}
-	f := p.frames[idx]
+	f := s.frames[idx]
 	f.lpn = lpn
 	f.hint = hint
 	f.valid = true
@@ -642,26 +793,28 @@ func (p *Pool) NewPage(now sim.Time, lpn core.LPN, hint core.Hint) (*Handle, sim
 	for i := range f.data {
 		f.data[i] = 0
 	}
-	p.table[lpn] = idx
-	p.mu.Unlock()
-	return &Handle{pool: p, frame: f, idx: idx}, now, nil
+	s.table[lpn] = idx
+	s.mu.Unlock()
+	return &Handle{pool: p, frame: f}, now, nil
 }
 
-// allocFrameLocked finds a victim frame using the CLOCK policy, writing it
-// back if dirty.  Caller holds p.mu; the mutex stays held throughout (the
-// backend write is bookkeeping plus virtual-time math, not real I/O).
-func (p *Pool) allocFrameLocked(now sim.Time) (int, sim.Time, error) {
+// allocFrameLocked finds a victim frame in shard s using the CLOCK policy,
+// writing it back if dirty.  Caller holds s.mu; the mutex stays held
+// throughout (the backend write is bookkeeping plus virtual-time math, not
+// real I/O).  A victim has zero pins, so no latch holder can exist and its
+// data may be read directly.
+func (p *Pool) allocFrameLocked(s *poolShard, now sim.Time) (int, sim.Time, error) {
 	// First pass preference: an invalid (never used) frame.
-	for i, f := range p.frames {
+	for i, f := range s.frames {
 		if !f.valid && f.pins == 0 {
 			return i, now, nil
 		}
 	}
 	// CLOCK sweep, at most two full rounds.
-	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
-		idx := p.hand
-		p.hand = (p.hand + 1) % len(p.frames)
-		f := p.frames[idx]
+	for sweep := 0; sweep < 2*len(s.frames); sweep++ {
+		idx := s.hand
+		s.hand = (s.hand + 1) % len(s.frames)
+		f := s.frames[idx]
 		if f.pins > 0 {
 			continue
 		}
@@ -678,7 +831,7 @@ func (p *Pool) allocFrameLocked(now sim.Time) (int, sim.Time, error) {
 				return 0, now, fmt.Errorf("buffer: writeback lpn %d: %w", f.lpn, err)
 			}
 			now = done
-			p.writebacks++
+			p.writebacks.Add(1)
 			if p.recorder != nil {
 				p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
 			}
@@ -701,30 +854,36 @@ func (p *Pool) allocFrameLocked(now sim.Time) (int, sim.Time, error) {
 				A: int64(f.lpn), B: b,
 			})
 		}
-		delete(p.table, f.lpn)
+		delete(s.table, f.lpn)
 		f.valid = false
 		f.dirty.Store(false)
 		f.prefetched = false
-		p.evictions++
+		p.evictions.Add(1)
 		return idx, now, nil
 	}
 	return 0, now, ErrPoolFull
 }
 
-// FlushPage writes the page back to the backend if it is resident and dirty.
+// FlushPage writes the page back to the backend if it is resident, dirty and
+// unpinned.  A pinned page is skipped (it is being modified by a concurrent
+// transaction and will be written back on eviction or at the next
+// checkpoint), exactly as FlushAll does.
 func (p *Pool) FlushPage(now sim.Time, lpn core.LPN) (sim.Time, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	idx, ok := p.table[lpn]
+	s := p.shardOf(lpn)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.table[lpn]
 	if !ok {
 		return now, fmt.Errorf("%w: lpn %d", ErrNotCached, lpn)
 	}
-	return p.flushFrameLocked(now, idx)
+	return p.flushFrameLocked(s, now, idx)
 }
 
-func (p *Pool) flushFrameLocked(now sim.Time, idx int) (sim.Time, error) {
-	f := p.frames[idx]
-	if !f.valid || !f.dirty.Load() {
+// flushFrameLocked writes one dirty unpinned frame back.  Caller holds s.mu;
+// zero pins guarantee no latch holder, so the data may be read directly.
+func (p *Pool) flushFrameLocked(s *poolShard, now sim.Time, idx int) (sim.Time, error) {
+	f := s.frames[idx]
+	if !f.valid || !f.dirty.Load() || f.pins > 0 {
 		return now, nil
 	}
 	done, err := p.backend.WritePage(now, f.lpn, f.data, f.hint)
@@ -732,7 +891,7 @@ func (p *Pool) flushFrameLocked(now sim.Time, idx int) (sim.Time, error) {
 		return now, err
 	}
 	f.dirty.Store(false)
-	p.writebacks++
+	p.writebacks.Add(1)
 	if p.recorder != nil {
 		p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
 	}
@@ -753,21 +912,21 @@ func (p *Pool) flushFrameLocked(now sim.Time, idx int) (sim.Time, error) {
 // die-striped scheduler batch, so the checkpoint costs roughly one write per
 // die instead of one write per page in virtual time.
 func (p *Pool) FlushAll(now sim.Time) (sim.Time, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.opts.GroupWriteBack && p.batch != nil {
-		_, done, err := p.flushGroupLocked(now, len(p.frames))
+		_, done, err := p.flushGroup(now, p.nframes)
 		return done, err
 	}
-	for idx, f := range p.frames {
-		if !f.valid || !f.dirty.Load() || f.pins > 0 {
-			continue
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for idx := range s.frames {
+			done, err := p.flushFrameLocked(s, now, idx)
+			if err != nil {
+				s.mu.Unlock()
+				return now, err
+			}
+			now = done
 		}
-		done, err := p.flushFrameLocked(now, idx)
-		if err != nil {
-			return now, err
-		}
-		now = done
+		s.mu.Unlock()
 	}
 	return now, nil
 }
@@ -776,84 +935,118 @@ func (p *Pool) FlushAll(now sim.Time) (sim.Time, error) {
 // is the work unit of the background flusher; returning the count lets the
 // flusher adapt its pace.
 func (p *Pool) FlushSome(now sim.Time, n int) (int, sim.Time, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.opts.GroupWriteBack && p.batch != nil {
-		return p.flushGroupLocked(now, n)
+		return p.flushGroup(now, n)
 	}
 	flushed := 0
-	for idx, f := range p.frames {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for idx, f := range s.frames {
+			if flushed >= n {
+				break
+			}
+			if !f.valid || !f.dirty.Load() || f.pins > 0 {
+				continue
+			}
+			done, err := p.flushFrameLocked(s, now, idx)
+			if err != nil {
+				s.mu.Unlock()
+				return flushed, now, err
+			}
+			now = done
+			flushed++
+		}
+		s.mu.Unlock()
 		if flushed >= n {
 			break
 		}
-		if !f.valid || !f.dirty.Load() || f.pins > 0 {
-			continue
-		}
-		done, err := p.flushFrameLocked(now, idx)
-		if err != nil {
-			return flushed, now, err
-		}
-		now = done
-		flushed++
 	}
 	return flushed, now, nil
 }
 
-// flushGroupLocked writes up to max dirty unpinned pages back as a single
-// batch through the batch backend.  The backend allocates the batch's slots
+// flushGroup writes up to max dirty unpinned pages back as a single batch
+// through the batch backend.  Candidates are collected shard by shard; each
+// is given a flush pin and a read latch so that neither eviction nor a
+// concurrent modification can touch its data while the batch is in flight
+// (a frame with zero pins cannot have a latch holder, so the read latch is
+// acquired without blocking).  The backend allocates the batch's slots
 // round-robin over the target regions' dies, so the programs stripe and
-// overlap in virtual time.  Caller holds p.mu.
-func (p *Pool) flushGroupLocked(now sim.Time, max int) (int, sim.Time, error) {
-	idxs := make([]int, 0, max)
+// overlap in virtual time.
+func (p *Pool) flushGroup(now sim.Time, max int) (int, sim.Time, error) {
+	frames := make([]*Frame, 0, max)
 	writes := make([]core.PageWrite, 0, max)
-	for idx, f := range p.frames {
-		if len(idxs) >= max {
+	for _, s := range p.shards {
+		if len(frames) >= max {
 			break
 		}
-		if !f.valid || !f.dirty.Load() || f.pins > 0 {
-			continue
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if len(frames) >= max {
+				break
+			}
+			if !f.valid || !f.dirty.Load() || f.pins > 0 {
+				continue
+			}
+			f.pins++
+			f.mu.RLock()
+			// Clear dirty before the write: MarkDirty cannot run while we
+			// hold the read latch, and any modification after we release it
+			// re-marks the page, so no update is lost.
+			f.dirty.Store(false)
+			frames = append(frames, f)
+			writes = append(writes, core.PageWrite{LPN: f.lpn, Data: f.data, Hint: f.hint})
 		}
-		idxs = append(idxs, idx)
-		writes = append(writes, core.PageWrite{LPN: f.lpn, Data: f.data, Hint: f.hint})
+		s.mu.Unlock()
 	}
 	if len(writes) == 0 {
 		return 0, now, nil
 	}
 	done, err := p.batch.WritePages(now, writes)
-	if err != nil {
-		// Leave every page dirty: pages the batch did manage to program are
-		// remapped in the backend and will simply be written again (wasted
-		// work, never lost data).
-		return 0, now, err
-	}
-	for _, idx := range idxs {
-		f := p.frames[idx]
-		f.dirty.Store(false)
-		p.writebacks++
-		if p.recorder != nil {
-			p.recorder.RecordPhysWrite(f.hint.ObjectID, 1)
+	for i, f := range frames {
+		if err != nil {
+			// Leave the page dirty: pages the batch did manage to program
+			// are remapped in the backend and will simply be written again
+			// (wasted work, never lost data).
+			f.dirty.Store(true)
+		}
+		f.mu.RUnlock()
+		s := f.shard
+		s.mu.Lock()
+		if f.pins > 0 {
+			f.pins--
+		}
+		s.mu.Unlock()
+		if err == nil {
+			p.writebacks.Add(1)
+			if p.recorder != nil {
+				p.recorder.RecordPhysWrite(writes[i].Hint.ObjectID, 1)
+			}
 		}
 	}
-	p.groupFlushes++
+	if err != nil {
+		return 0, now, err
+	}
+	p.groupFlushes.Add(1)
 	if p.tracer.Enabled(obs.ClassBufWriteBack) {
 		p.tracer.Record(obs.Event{
 			Class: obs.ClassBufWriteBack, Op: obs.BufWriteBackGroup,
 			Die: -1, Block: -1, Page: -1, Region: -1,
-			Start: now, End: done, A: int64(len(idxs)),
+			Start: now, End: done, A: int64(len(frames)),
 		})
 	}
-	return len(idxs), done, nil
+	return len(frames), done, nil
 }
 
 // Drop removes a page from the pool without writing it back (used when an
 // object is dropped and its pages trimmed).
 func (p *Pool) Drop(lpn core.LPN) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if idx, ok := p.table[lpn]; ok {
-		f := p.frames[idx]
+	s := p.shardOf(lpn)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.table[lpn]; ok {
+		f := s.frames[idx]
 		if f.pins == 0 {
-			delete(p.table, lpn)
+			delete(s.table, lpn)
 			f.valid = false
 			f.dirty.Store(false)
 			f.prefetched = false

@@ -119,11 +119,10 @@ func TPCCSetup(scale Scale) Setup {
 	dbCfg.Flash.Geometry = geo
 	dbCfg.BufferPoolPages = pool
 	// TPC-C terminals take locks in canonical order, so real deadlocks
-	// cannot form; the lock-wait timeout is purely a safety net.  It runs on
-	// wall-clock time, so keep it far above any scheduling delay a loaded
-	// machine (e.g. the parallel `go test ./...` CI run) can introduce —
-	// spurious timeouts abort transactions and perturb the measured
-	// virtual-time throughput.
+	// cannot form; the lock-wait timeout is purely a safety net.  Timeouts
+	// are virtual-time deterministic now, so host scheduling delays can no
+	// longer fire them spuriously — the generous value just keeps the
+	// simulated-time deadline far above any legitimate lock wait.
 	dbCfg.LockTimeout = 60 * time.Second
 	return Setup{DB: dbCfg, TPCC: workload}
 }

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"noftl/internal/flash"
 	"noftl/internal/metrics"
@@ -161,17 +162,21 @@ type queued struct {
 }
 
 // Scheduler is the asynchronous I/O scheduler.  It is safe for concurrent
-// use; dispatching holds an internal mutex because the underlying device
-// model's virtual-time resources do all contention accounting.
+// use.  Submit dispatches lock-free: the device model's virtual-time
+// resources (per-die, per-channel) do all contention accounting with their
+// own locks, and the scheduler's own counters are atomics, so concurrent
+// submitters from independent workers never serialize on the scheduler —
+// only on the dies they actually share.  The mutex protects just the
+// asynchronous ticket path (Enqueue/Flush/Wait).
 type Scheduler struct {
-	mu         sync.Mutex
+	mu         sync.Mutex // guards pending/results/ticket state only
 	dev        Device
 	geo        flash.Geometry
 	pending    []queued
 	nextTicket Ticket
 	nextSeq    uint64
 	results    map[Ticket]Completion
-	busyUntil  []sim.Time // per-die completion horizon of dispatched work
+	busyUntil  []atomic.Int64 // per-die completion horizon (sim.Time ns), CAS-max
 
 	set        *metrics.Set
 	batches    *metrics.Counter
@@ -204,7 +209,7 @@ func New(dev Device) *Scheduler {
 		dev:       dev,
 		geo:       dev.Geometry(),
 		results:   make(map[Ticket]Completion),
-		busyUntil: make([]sim.Time, dev.Geometry().Dies()),
+		busyUntil: make([]atomic.Int64, dev.Geometry().Dies()),
 		set:       metrics.NewSet(),
 	}
 	s.batches = s.set.Counter("iosched.batches")
@@ -265,17 +270,24 @@ func (s *Scheduler) AttachObs(tr *obs.Tracer, reg *metrics.Registry) {
 // Requests to different dies overlap in virtual time; requests to the same
 // die are served in priority order (FIFO within a class) on the die's
 // single-server queue.
+//
+// Submit never takes the scheduler mutex: concurrent submitters contend only
+// on the per-die/per-channel resources of the device model (and then only
+// when they target the same die), which is what lets N workers drive the
+// device in parallel.  Ordering guarantees hold within one batch; across
+// concurrent batches the dies' FCFS queues arbitrate, exactly as the
+// hardware would.
 func (s *Scheduler) Submit(now sim.Time, reqs []Request) ([]Completion, sim.Time) {
 	if len(reqs) == 0 {
 		return nil, now
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dispatchLocked(now, reqs)
+	return s.dispatch(now, reqs)
 }
 
-// dispatchLocked issues the batch against the device.  Caller holds s.mu.
-func (s *Scheduler) dispatchLocked(now sim.Time, reqs []Request) ([]Completion, sim.Time) {
+// dispatch issues the batch against the device.  It takes no scheduler-wide
+// lock (see Submit); every structure it touches is an atomic or has its own
+// finer-grained lock.
+func (s *Scheduler) dispatch(now sim.Time, reqs []Request) ([]Completion, sim.Time) {
 	// Dispatch order: priority class first, then per-die FIFO.  The index
 	// sort is stable so that same-priority requests to one die keep their
 	// submission order (required by the NAND sequential-programming
@@ -317,8 +329,13 @@ func (s *Scheduler) dispatchLocked(now sim.Time, reqs []Request) ([]Completion, 
 		if c.Done > end {
 			end = c.Done
 		}
-		if d := req.die(); d >= 0 && d < len(s.busyUntil) && c.Done > s.busyUntil[d] {
-			s.busyUntil[d] = c.Done
+		if d := req.die(); d >= 0 && d < len(s.busyUntil) {
+			for {
+				cur := s.busyUntil[d].Load()
+				if int64(c.Done) <= cur || s.busyUntil[d].CompareAndSwap(cur, int64(c.Done)) {
+					break
+				}
+			}
 		}
 		if c.Err == nil {
 			s.latByPrio[req.Priority].Observe(c.Done.Sub(now))
@@ -355,9 +372,7 @@ func (s *Scheduler) dispatchLocked(now sim.Time, reqs []Request) ([]Completion, 
 		s.promBatches.Inc()
 	}
 	s.requests.Add(int64(len(reqs)))
-	if int64(len(reqs)) > s.maxBatch.Value() {
-		s.maxBatch.Set(int64(len(reqs)))
-	}
+	s.maxBatch.SetMax(int64(len(reqs)))
 	s.batchSpan.Observe(end.Sub(now))
 	return completions, end
 }
@@ -375,9 +390,7 @@ func (s *Scheduler) Enqueue(req Request) Ticket {
 	s.nextSeq++
 	depth := int64(len(s.pending))
 	s.queueDepth.Set(depth)
-	if depth > s.maxQueue.Value() {
-		s.maxQueue.Set(depth)
-	}
+	s.maxQueue.SetMax(depth)
 	return t
 }
 
@@ -411,7 +424,7 @@ func (s *Scheduler) flushLocked(now sim.Time) sim.Time {
 	}
 	s.pending = s.pending[:0]
 	s.queueDepth.Set(0)
-	completions, end := s.dispatchLocked(now, reqs)
+	completions, end := s.dispatch(now, reqs)
 	for i, c := range completions {
 		s.results[tickets[i]] = c
 	}
@@ -443,12 +456,10 @@ func (s *Scheduler) Wait(now sim.Time, t Ticket) (Completion, bool) {
 // work fills the die's idle slots instead of pushing in front of traffic that
 // is already accounted on the die.
 func (s *Scheduler) DieIdleAt(die int) sim.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if die < 0 || die >= len(s.busyUntil) {
 		return 0
 	}
-	return s.busyUntil[die]
+	return sim.Time(s.busyUntil[die].Load())
 }
 
 // ObserveGCStep records one bounded background GC step (victim relocation

@@ -1,6 +1,8 @@
 package iosched
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"noftl/internal/flash"
@@ -312,5 +314,95 @@ func TestGCStepMetrics(t *testing.T) {
 	}
 	if h := s.Metrics().Histogram("iosched.gc_step_span"); h.Count() != 2 {
 		t.Fatalf("gc_step_span observations = %d, want 2", h.Count())
+	}
+}
+
+// TestConcurrentSubmitters drives Submit from many goroutines at once (mixed
+// with the async Enqueue/Wait ticket path) and checks the accounting:
+// request/batch counters are exact, per-die busy horizons cover all work, and
+// every ticket is served.  Run with -race this exercises the lock-free
+// dispatch path against the mutex-guarded ticket path.
+func TestConcurrentSubmitters(t *testing.T) {
+	dev := testDevice(t)
+	geo := dev.Geometry()
+	for d := 0; d < geo.Dies(); d++ {
+		program(t, dev, d, 8)
+	}
+	resetTime(dev)
+	s := New(dev)
+
+	const workers = 8
+	const batchesPerWorker = 40
+	const reqsPerBatch = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			now := sim.Time(0)
+			for b := 0; b < batchesPerWorker; b++ {
+				reqs := make([]Request, reqsPerBatch)
+				for i := range reqs {
+					die := (id + i) % geo.Dies()
+					reqs[i] = Request{
+						Op:       OpReadPage,
+						Addr:     flash.Addr{Die: die, Block: 0, Page: (b + i) % 8},
+						Priority: PrioHostRead,
+						Tag:      uint64(id*1000 + b),
+					}
+				}
+				cs, end := s.Submit(now, reqs)
+				for _, c := range cs {
+					if c.Err != nil {
+						errCh <- c.Err
+						return
+					}
+					if c.Done > end {
+						errCh <- fmt.Errorf("completion %v after makespan %v", c.Done, end)
+						return
+					}
+				}
+				now = end
+				// Interleave the async ticket path.
+				if b%8 == 0 {
+					tk := s.Enqueue(Request{
+						Op:       OpReadMeta,
+						Addr:     flash.Addr{Die: id % geo.Dies(), Block: 0, Page: 0},
+						Priority: PrioGC,
+					})
+					if c, ok := s.Wait(now, tk); !ok {
+						errCh <- fmt.Errorf("ticket %d lost", tk)
+						return
+					} else if c.Err != nil {
+						errCh <- c.Err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	const asyncBatches = workers * (batchesPerWorker/8 + (batchesPerWorker%8+7)/8) // ceil not needed; computed below
+	_ = asyncBatches
+	wantReqs := int64(workers*batchesPerWorker*reqsPerBatch) + int64(workers*5) // 5 async per worker (b=0,8,16,24,32)
+	if got := s.requests.Value(); got != wantReqs {
+		t.Fatalf("requests = %d, want %d", got, wantReqs)
+	}
+	if got := s.batches.Value(); got != int64(workers*batchesPerWorker+workers*5) {
+		t.Fatalf("batches = %d, want %d", got, workers*batchesPerWorker+workers*5)
+	}
+	if s.QueueDepth() != 0 {
+		t.Fatalf("pending requests leaked: %d", s.QueueDepth())
+	}
+	// Every die saw work, so every busy horizon must have advanced.
+	for d := 0; d < geo.Dies(); d++ {
+		if s.DieIdleAt(d) == 0 {
+			t.Fatalf("die %d horizon never advanced", d)
+		}
 	}
 }

@@ -46,6 +46,18 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Add adds delta (which may be negative).
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
+// SetMax raises the gauge to v if v is larger than the current value (an
+// atomic compare-and-swap maximum, for high-water-mark gauges updated from
+// concurrent writers).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -12,6 +12,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -133,10 +134,10 @@ func (r *Resource) Reset() {
 // Clock tracks the global high-water mark of simulated time across all
 // actors.  Actors advance their private cursors and publish them; the clock
 // remembers the maximum, which is the simulated wall-clock duration of the
-// run.
+// run.  Observe is a lock-free CAS-max so the clock never serializes
+// concurrent actors (every cursor advance publishes here).
 type Clock struct {
-	mu  sync.Mutex
-	max Time
+	max atomic.Int64
 }
 
 // NewClock returns a clock at time zero.
@@ -144,26 +145,19 @@ func NewClock() *Clock { return &Clock{} }
 
 // Observe publishes an actor's cursor; the clock keeps the maximum.
 func (c *Clock) Observe(t Time) {
-	c.mu.Lock()
-	if t > c.max {
-		c.max = t
+	for {
+		cur := c.max.Load()
+		if int64(t) <= cur || c.max.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
-	c.mu.Unlock()
 }
 
 // Now returns the highest observed simulated time.
-func (c *Clock) Now() Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.max
-}
+func (c *Clock) Now() Time { return Time(c.max.Load()) }
 
 // Reset puts the clock back to zero.
-func (c *Clock) Reset() {
-	c.mu.Lock()
-	c.max = 0
-	c.mu.Unlock()
-}
+func (c *Clock) Reset() { c.max.Store(0) }
 
 // Cursor is the private virtual-time position of a single actor (a TPC-C
 // terminal, a flusher, the GC).  It is not safe for concurrent use; each

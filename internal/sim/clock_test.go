@@ -91,6 +91,31 @@ func TestClockObservesMaximum(t *testing.T) {
 	}
 }
 
+func TestClockConcurrentObserve(t *testing.T) {
+	c := NewClock()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			cur := NewCursor(c)
+			for i := 0; i <= perWorker; i++ {
+				cur.SetTo(Time(base + i))
+			}
+		}(w * perWorker)
+	}
+	wg.Wait()
+	if got := c.Now(); got != Time(workers*perWorker) {
+		t.Fatalf("clock = %d, want %d (max across all workers)", got, workers*perWorker)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset did not zero the clock")
+	}
+}
+
 func TestCursorSetTo(t *testing.T) {
 	cur := NewCursor(nil)
 	cur.AdvanceTo(500)

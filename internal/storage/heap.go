@@ -86,13 +86,11 @@ func (h *HeapFile) Insert(now sim.Time, rec []byte) (RID, sim.Time, error) {
 		}
 		now = done
 	}
-	// Open a fresh page.
-	h.mu.Lock()
+	// Open a fresh page.  The LPN is published in h.pages/h.lastPage only
+	// after its frame exists in the pool: concurrent inserters and scanners
+	// that pick the new tail up must find the frame, not fall through to the
+	// device where the page has never been written.
 	newLPN := h.ts.AllocatePage()
-	h.pages = append(h.pages, newLPN)
-	h.lastPage = newLPN
-	h.mu.Unlock()
-
 	handle, done, err := h.pool.NewPage(now, newLPN, h.hint())
 	if err != nil {
 		return RID{}, done, err
@@ -107,6 +105,8 @@ func (h *HeapFile) Insert(now sim.Time, rec []byte) (RID, sim.Time, error) {
 	}
 	handle.MarkDirty()
 	h.mu.Lock()
+	h.pages = append(h.pages, newLPN)
+	h.lastPage = newLPN
 	h.records++
 	h.mu.Unlock()
 	return RID{LPN: uint64(newLPN), Slot: slot}, done, nil

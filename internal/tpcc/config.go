@@ -53,6 +53,11 @@ type Config struct {
 	Placement PlacementKind
 	// Terminals is the number of concurrent closed-loop terminals.
 	Terminals int
+	// Workers overrides the number of goroutines driving the terminals.
+	// Zero (the default) runs one goroutine per terminal.  The workers are
+	// real OS-level parallelism: wall-clock throughput (Results.WallTPS)
+	// scales with them, while the virtual-time metrics stay workload-driven.
+	Workers int
 	// Transactions is the total number of transactions to execute in the
 	// measured phase (ignored when Duration is set).
 	Transactions int
@@ -127,6 +132,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Terminals <= 0 {
 		c.Terminals = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Terminals
+	}
+	if c.Workers > c.Terminals {
+		c.Workers = c.Terminals
 	}
 	if c.Transactions <= 0 {
 		c.Transactions = 1000

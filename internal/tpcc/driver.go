@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"noftl"
@@ -16,25 +17,38 @@ import (
 // Figure 3 table reports: throughput, per-transaction-type response times,
 // 4 KiB read/write latencies, host I/O counts and the GC counters.
 type Results struct {
-	Placement      PlacementKind
-	Warehouses     int
-	Terminals      int
-	SimulatedTime  time.Duration
-	Committed      int64
-	Aborted        int64
-	Retried        int64 // lock-timeout victims that were retried
-	Failed         int64
-	TPS            float64
-	ResponseTimes  map[TxnType]metrics.Snapshot
-	ReadLatency    metrics.Snapshot
-	WriteLatency   metrics.Snapshot
-	HostReadIOs    int64
-	HostWriteIOs   int64
-	GCCopybacks    int64
-	GCErases       int64
-	WriteAmp       float64
-	BufferHitRatio float64
-	Regions        []noftl.RegionStats
+	Placement     PlacementKind
+	Warehouses    int
+	Terminals     int
+	Workers       int
+	SimulatedTime time.Duration
+	// WallTime is the real (wall-clock) duration of the measured phase and
+	// WallTPS the committed transactions per wall-clock second: the numbers
+	// that scale with Workers, while TPS (virtual) stays workload-driven.
+	WallTime  time.Duration
+	WallTPS   float64
+	Committed int64
+	Aborted   int64
+	Retried   int64 // lock-timeout victims that were retried
+	Failed    int64
+	TPS       float64
+	// Concurrency-plane counters of the measured phase: lock contention and
+	// WAL group-commit effectiveness.
+	LockWaits       int64
+	LockTimeouts    int64
+	WALFlushes      int64
+	WALGroupCommits int64
+	WALGroupedTxns  int64
+	ResponseTimes   map[TxnType]metrics.Snapshot
+	ReadLatency     metrics.Snapshot
+	WriteLatency    metrics.Snapshot
+	HostReadIOs     int64
+	HostWriteIOs    int64
+	GCCopybacks     int64
+	GCErases        int64
+	WriteAmp        float64
+	BufferHitRatio  float64
+	Regions         []noftl.RegionStats
 }
 
 // String renders a one-line summary.
@@ -63,15 +77,27 @@ func Run(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 	return runPhase(db, sch, cfg)
 }
 
+// termState is one logical closed-loop terminal: its workload generator plus
+// its private virtual-time cursor.  A worker goroutine drives one or more
+// terminals round-robin, so the virtual-time multiprogramming level is always
+// cfg.Terminals regardless of how many OS-level workers execute them.
+type termState struct {
+	t      *terminal
+	cursor *noftl.TimeCursor
+}
+
 // runPhase executes one closed-loop phase of cfg.Transactions transactions.
+// cfg.Workers goroutines drive cfg.Terminals logical terminals; the driver's
+// own bookkeeping is all atomics, so worker scaling is limited by the engine
+// (sharded buffer pool and lock table, lock-free scheduler dispatch, WAL
+// group commit), not by the harness.
 func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 	var (
-		mu        sync.Mutex
-		committed int64
-		aborted   int64
-		retried   int64
-		failed    int64
-		issued    int64
+		committed atomic.Int64
+		aborted   atomic.Int64
+		retried   atomic.Int64
+		failed    atomic.Int64
+		issued    atomic.Int64
 		perType   = make(map[TxnType]*metrics.Histogram)
 	)
 	for ty := TxnType(0); ty < txnTypeCount; ty++ {
@@ -83,35 +109,60 @@ func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 	// (with a generous hard cap as a safety net).
 	const durationModeCap = 10_000_000
 	claim := func(terminalNow sim.Time) bool {
-		mu.Lock()
-		defer mu.Unlock()
 		if cfg.Duration > 0 {
-			if terminalNow >= sim.Time(cfg.Duration) || issued >= durationModeCap {
+			if terminalNow >= sim.Time(cfg.Duration) {
 				return false
 			}
-		} else if issued >= int64(cfg.Transactions) {
+			if issued.Add(1) > durationModeCap {
+				issued.Add(-1)
+				return false
+			}
+			return true
+		}
+		if issued.Add(1) > int64(cfg.Transactions) {
+			issued.Add(-1)
 			return false
 		}
-		issued++
 		return true
 	}
 
-	var wg sync.WaitGroup
-	errCh := make(chan error, cfg.Terminals)
-	for term := 0; term < cfg.Terminals; term++ {
-		wg.Add(1)
-		go func(termID int) {
-			defer wg.Done()
-			t := &terminal{
+	terminals := make([]*termState, cfg.Terminals)
+	for termID := range terminals {
+		terminals[termID] = &termState{
+			t: &terminal{
 				db:  db,
 				sch: sch,
 				cfg: cfg,
 				r:   newRNG(cfg.Seed + uint64(termID)*7919),
 				wID: termID%cfg.Warehouses + 1,
 				dID: termID%cfg.DistrictsPerWarehouse + 1,
+			},
+			cursor: db.TimeCursor(),
+		}
+	}
+
+	baseStats := db.Stats()
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(workerID int) {
+			defer wg.Done()
+			// Worker w owns terminals w, w+Workers, w+2*Workers, ...
+			var owned []*termState
+			for termID := workerID; termID < cfg.Terminals; termID += cfg.Workers {
+				owned = append(owned, terminals[termID])
 			}
-			cursor := db.TimeCursor()
-			for claim(cursor.Now()) {
+			if len(owned) == 0 {
+				return
+			}
+			for i := 0; ; i++ {
+				ts := owned[i%len(owned)]
+				t, cursor := ts.t, ts.cursor
+				if !claim(cursor.Now()) {
+					return
+				}
 				typ := t.pickType()
 				tx := db.BeginAt(cursor.Now())
 				err := t.run(typ, tx)
@@ -119,19 +170,13 @@ func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 				case err == nil:
 					end, cerr := tx.Commit()
 					if cerr != nil {
-						mu.Lock()
-						failed++
-						mu.Unlock()
+						failed.Add(1)
 						errCh <- cerr
 						return
 					}
 					cursor.AdvanceTo(end)
-					mu.Lock()
-					committed++
-					doCheckpoint := committed%int64(cfg.CheckpointEvery) == 0
-					mu.Unlock()
-					perTypeObserve(perType, &mu, typ, tx.ResponseTime())
-					if doCheckpoint {
+					perType[typ].Observe(tx.ResponseTime())
+					if committed.Add(1)%int64(cfg.CheckpointEvery) == 0 {
 						// Periodic checkpoint: flush dirty pages and truncate
 						// the WAL so the log's footprint in the metadata
 						// region stays bounded.  The checkpoint cost is
@@ -146,23 +191,17 @@ func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 				case errors.Is(err, errRollback):
 					end := tx.Abort()
 					cursor.AdvanceTo(end)
-					mu.Lock()
-					aborted++
-					mu.Unlock()
+					aborted.Add(1)
 				case errors.Is(err, txn.ErrLockTimeout):
 					// Deadlock-victim handling: abort and carry on, like a
 					// real TPC-C driver would retry the transaction.
 					end := tx.Abort()
 					cursor.AdvanceTo(end)
-					mu.Lock()
-					retried++
-					mu.Unlock()
+					retried.Add(1)
 				default:
 					end := tx.Abort()
 					cursor.AdvanceTo(end)
-					mu.Lock()
-					failed++
-					mu.Unlock()
+					failed.Add(1)
 					errCh <- fmt.Errorf("tpcc %s: %w", typ, err)
 					return
 				}
@@ -170,9 +209,10 @@ func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 					cursor.Advance(cfg.ThinkTime)
 				}
 			}
-		}(term)
+		}(w)
 	}
 	wg.Wait()
+	wall := time.Since(wallStart)
 	close(errCh)
 	for err := range errCh {
 		if err != nil {
@@ -182,38 +222,42 @@ func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 
 	stats := db.Stats()
 	res := Results{
-		Placement:      cfg.Placement,
-		Warehouses:     cfg.Warehouses,
-		Terminals:      cfg.Terminals,
-		SimulatedTime:  stats.Simulated,
-		Committed:      committed,
-		Aborted:        aborted,
-		Retried:        retried,
-		Failed:         failed,
-		ResponseTimes:  make(map[TxnType]metrics.Snapshot),
-		ReadLatency:    stats.ReadLatency,
-		WriteLatency:   stats.WriteLatency,
-		HostReadIOs:    stats.Space.HostReads,
-		HostWriteIOs:   stats.Space.HostWrites,
-		GCCopybacks:    stats.Space.GCCopybacks,
-		GCErases:       stats.Space.GCErases,
-		WriteAmp:       stats.Space.WriteAmplification(),
-		BufferHitRatio: stats.Buffer.HitRatio(),
-		Regions:        stats.Space.Regions,
+		Placement:       cfg.Placement,
+		Warehouses:      cfg.Warehouses,
+		Terminals:       cfg.Terminals,
+		Workers:         cfg.Workers,
+		SimulatedTime:   stats.Simulated,
+		WallTime:        wall,
+		Committed:       committed.Load(),
+		Aborted:         aborted.Load(),
+		Retried:         retried.Load(),
+		Failed:          failed.Load(),
+		LockWaits:       stats.Txn.LockWaits - baseStats.Txn.LockWaits,
+		LockTimeouts:    stats.Txn.LockTimeouts - baseStats.Txn.LockTimeouts,
+		WALFlushes:      stats.WAL.Flushes - baseStats.WAL.Flushes,
+		WALGroupCommits: stats.WAL.GroupCommits - baseStats.WAL.GroupCommits,
+		WALGroupedTxns:  stats.WAL.GroupedTxns - baseStats.WAL.GroupedTxns,
+		ResponseTimes:   make(map[TxnType]metrics.Snapshot),
+		ReadLatency:     stats.ReadLatency,
+		WriteLatency:    stats.WriteLatency,
+		HostReadIOs:     stats.Space.HostReads,
+		HostWriteIOs:    stats.Space.HostWrites,
+		GCCopybacks:     stats.Space.GCCopybacks,
+		GCErases:        stats.Space.GCErases,
+		WriteAmp:        stats.Space.WriteAmplification(),
+		BufferHitRatio:  stats.Buffer.HitRatio(),
+		Regions:         stats.Space.Regions,
 	}
 	if secs := stats.Simulated.Seconds(); secs > 0 {
-		res.TPS = float64(committed) / secs
+		res.TPS = float64(res.Committed) / secs
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		res.WallTPS = float64(res.Committed) / secs
 	}
 	for ty, h := range perType {
 		res.ResponseTimes[ty] = h.Snapshot()
 	}
 	return res, nil
-}
-
-func perTypeObserve(perType map[TxnType]*metrics.Histogram, mu *sync.Mutex, typ TxnType, d time.Duration) {
-	mu.Lock()
-	perType[typ].Observe(d)
-	mu.Unlock()
 }
 
 // LoadAndRun is the one-call harness used by benchmarks and the command-line

@@ -2,12 +2,16 @@
 // engine: transaction identities, strict two-phase locking on logical keys,
 // commit/abort bookkeeping and per-transaction virtual-time accounting.
 //
-// Lock waits are real (goroutine blocking); the virtual-time model charges
-// only I/O and CPU costs to transaction response times, which is sufficient
-// for the paper's experiments (they compare storage configurations, not
-// concurrency-control schemes).  TPC-C transactions acquire their locks in a
-// canonical order, so deadlocks cannot form; a lock-wait timeout is provided
-// as a safety net and surfaces as ErrLockTimeout.
+// The lock table is sharded by key hash, so concurrent transactions that
+// touch different keys almost never share a mutex.  Lock waits are real
+// (goroutine blocking), but the wait *timeout* is virtual-time-deterministic:
+// a waiter gives up when the contended key has seen more than the configured
+// budget of simulated time pass (measured from release to release) while the
+// lock stayed unavailable.  That makes ErrLockTimeout independent of host
+// speed and parallel test load; a generous wall-clock fallback remains as
+// the safety net for true deadlocks, where no release (and hence no virtual
+// progress on the key) ever happens.  TPC-C transactions acquire their locks
+// in a canonical order, so deadlocks cannot form in the benchmark itself.
 package txn
 
 import (
@@ -39,6 +43,12 @@ var (
 	ErrTxnDone = errors.New("txn: transaction already finished")
 )
 
+// lockShards is the number of hash shards of the lock table.  Each shard has
+// its own mutex and its own slice of the key space, so the shard count bounds
+// the number of CPUs that can contend on lock-table metadata (the locks
+// themselves still conflict only when transactions touch the same key).
+const lockShards = 32
+
 // lockState is the state of one lockable key.
 type lockState struct {
 	cond    *sync.Cond
@@ -46,55 +56,173 @@ type lockState struct {
 	writer  uint64         // txn id holding exclusively, 0 if none
 	wcount  int
 	waiting int // transactions currently blocked on this key
+	// maxRelease is the highest virtual time at which a holder released this
+	// key.  Waiters use it as the key's virtual-time frontier: when it moves
+	// past a waiter's deadline while the lock stays unavailable, the wait
+	// has deterministically timed out.
+	maxRelease sim.Time
 }
 
-// LockManager implements strict two-phase locking over string keys.
-type LockManager struct {
-	mu      sync.Mutex
-	locks   map[string]*lockState
-	timeout time.Duration
-	waits   int64
+// lockShard is one slice of the lock table.
+type lockShard struct {
+	mu       sync.Mutex
+	locks    map[string]*lockState
+	waits    atomic.Int64
+	timeouts atomic.Int64
 }
 
-// NewLockManager creates a lock manager with the given wait timeout (zero
-// selects one second).
-func NewLockManager(timeout time.Duration) *LockManager {
-	if timeout <= 0 {
-		timeout = time.Second
-	}
-	return &LockManager{locks: make(map[string]*lockState), timeout: timeout}
-}
-
-// Waits returns the number of lock acquisitions that had to wait.
-func (lm *LockManager) Waits() int64 { return atomic.LoadInt64(&lm.waits) }
-
-func (lm *LockManager) state(key string) *lockState {
-	ls, ok := lm.locks[key]
+func (sh *lockShard) state(key string) *lockState {
+	ls, ok := sh.locks[key]
 	if !ok {
 		ls = &lockState{readers: make(map[uint64]int)}
-		ls.cond = sync.NewCond(&lm.mu)
-		lm.locks[key] = ls
+		ls.cond = sync.NewCond(&sh.mu)
+		sh.locks[key] = ls
 	}
 	return ls
 }
 
-// Lock acquires key in the given mode on behalf of txnID, blocking until the
-// lock is granted or the timeout expires.  Re-acquiring a lock already held
-// (including upgrading shared to exclusive when the transaction is the sole
-// reader) succeeds.
+// LockManager implements strict two-phase locking over string keys.  All
+// methods are safe for concurrent use.
+type LockManager struct {
+	shards       [lockShards]lockShard
+	timeout      time.Duration // virtual-time wait budget (ns, 1:1 with sim time)
+	wallFallback time.Duration // wall-clock deadlock safety net
+}
+
+// NewLockManager creates a lock manager with the given wait timeout (zero
+// selects one second).  The timeout is interpreted in virtual time when the
+// caller provides a virtual-time context (LockAt); the wall-clock fallback
+// defaults to ten times the timeout, clamped to [1s, 60s].
+func NewLockManager(timeout time.Duration) *LockManager {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	fallback := 10 * timeout
+	if fallback < time.Second {
+		fallback = time.Second
+	}
+	if fallback > time.Minute {
+		fallback = time.Minute
+	}
+	lm := &LockManager{timeout: timeout, wallFallback: fallback}
+	for i := range lm.shards {
+		lm.shards[i].locks = make(map[string]*lockState)
+	}
+	return lm
+}
+
+// SetWallFallback overrides the wall-clock deadlock safety net (tests use a
+// short fallback to exercise it quickly).
+func (lm *LockManager) SetWallFallback(d time.Duration) {
+	if d > 0 {
+		lm.wallFallback = d
+	}
+}
+
+// shard maps a key to its lock-table shard (FNV-1a).
+func (lm *LockManager) shard(key string) *lockShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &lm.shards[h%lockShards]
+}
+
+// Waits returns the number of lock acquisitions that had to wait.
+func (lm *LockManager) Waits() int64 {
+	var n int64
+	for i := range lm.shards {
+		n += lm.shards[i].waits.Load()
+	}
+	return n
+}
+
+// Timeouts returns the number of lock waits that ended in ErrLockTimeout.
+func (lm *LockManager) Timeouts() int64 {
+	var n int64
+	for i := range lm.shards {
+		n += lm.shards[i].timeouts.Load()
+	}
+	return n
+}
+
+// LockStats is a snapshot of lock-manager contention counters.
+type LockStats struct {
+	// Waits counts lock acquisitions that had to block; Timeouts counts
+	// waits that ended in ErrLockTimeout.
+	Waits    int64
+	Timeouts int64
+	// Held is the number of keys currently locked (shared or exclusive);
+	// Waiting is the number of transactions currently blocked on a key.
+	Held    int64
+	Waiting int64
+	// ShardWaits is the per-shard breakdown of Waits, exposing skew across
+	// the lock-table shards.
+	ShardWaits []int64
+}
+
+// Stats returns a snapshot of the lock manager's contention counters.
+func (lm *LockManager) Stats() LockStats {
+	st := LockStats{ShardWaits: make([]int64, lockShards)}
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		st.ShardWaits[i] = sh.waits.Load()
+		st.Waits += st.ShardWaits[i]
+		st.Timeouts += sh.timeouts.Load()
+		sh.mu.Lock()
+		for _, ls := range sh.locks {
+			if ls.writer != 0 || len(ls.readers) > 0 {
+				st.Held++
+			}
+			st.Waiting += int64(ls.waiting)
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Lock acquires key in the given mode on behalf of txnID with no virtual-time
+// context: the timeout is then a plain wall-clock deadline.  Engine code
+// should prefer LockAt, which makes the timeout virtual-time-deterministic.
 func (lm *LockManager) Lock(txnID uint64, key string, mode LockMode) error {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	ls := lm.state(key)
-	deadline := time.Now().Add(lm.timeout)
+	return lm.lock(-1, txnID, key, mode)
+}
+
+// LockAt acquires key in the given mode on behalf of txnID, whose current
+// virtual time is now, blocking until the lock is granted or the wait times
+// out.  Re-acquiring a lock already held (including upgrading shared to
+// exclusive when the transaction is the sole reader) succeeds.
+//
+// The wait deadline is virtual: it expires when the key's release frontier
+// (the highest virtual time of any release of this key) moves more than the
+// configured timeout past the frontier observed when the wait began, while
+// the lock remains unavailable.  A wall-clock fallback (SetWallFallback)
+// catches deadlocks, where the frontier never moves.
+func (lm *LockManager) LockAt(now sim.Time, txnID uint64, key string, mode LockMode) error {
+	if now < 0 {
+		now = 0
+	}
+	return lm.lock(now, txnID, key, mode)
+}
+
+// lock is the shared wait loop.  now < 0 means "no virtual context" (wall
+// deadline = timeout, the legacy behaviour).
+func (lm *LockManager) lock(now sim.Time, txnID uint64, key string, mode LockMode) error {
+	sh := lm.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.state(key)
 	waited := false
+	vdeadline := sim.Time(-1)
+	var wallDeadline time.Time
 	for {
 		holder := ls.writer == txnID || ls.readers[txnID] > 0
 		// A newly arriving request yields to transactions that are already
 		// waiting (simple fairness, so a hot lock cannot starve a waiter),
 		// unless the transaction already holds the lock.
 		barge := !holder && !waited && ls.waiting > 0
-		if !barge && lm.grantable(ls, txnID, mode) {
+		if !barge && grantable(ls, txnID, mode) {
 			if mode == Exclusive {
 				ls.writer = txnID
 				ls.wcount++
@@ -107,27 +235,46 @@ func (lm *LockManager) Lock(txnID uint64, key string, mode LockMode) error {
 			}
 			return nil
 		}
-		if time.Now().After(deadline) {
-			if waited {
-				ls.waiting--
-			}
-			return fmt.Errorf("%w: txn %d key %q", ErrLockTimeout, txnID, key)
-		}
 		if !waited {
-			atomic.AddInt64(&lm.waits, 1)
-			ls.waiting++
 			waited = true
+			sh.waits.Add(1)
+			ls.waiting++
+			if now >= 0 {
+				// Anchor the virtual deadline to the key's release frontier,
+				// not just the waiter's own cursor: cursors of independent
+				// workers drift apart, and a waiter behind the frontier must
+				// still be given a full timeout of *future* virtual activity.
+				anchor := now
+				if ls.maxRelease > anchor {
+					anchor = ls.maxRelease
+				}
+				vdeadline = anchor.Add(lm.timeout)
+				wallDeadline = time.Now().Add(lm.wallFallback)
+			} else {
+				wallDeadline = time.Now().Add(lm.timeout)
+			}
+		} else {
+			timedOut := vdeadline >= 0 && ls.maxRelease > vdeadline
+			if !timedOut && time.Now().After(wallDeadline) {
+				timedOut = true
+			}
+			if timedOut {
+				ls.waiting--
+				sh.timeouts.Add(1)
+				return fmt.Errorf("%w: txn %d key %q", ErrLockTimeout, txnID, key)
+			}
 		}
-		// Wake ourselves up at the deadline so the timeout is honoured even
-		// if nobody releases the lock.
-		timer := time.AfterFunc(time.Until(deadline), ls.cond.Broadcast)
+		// Wake ourselves up at the wall deadline so the fallback is honoured
+		// even if nobody ever releases the lock.
+		timer := time.AfterFunc(time.Until(wallDeadline), ls.cond.Broadcast)
 		ls.cond.Wait()
 		timer.Stop()
 	}
 }
 
-// grantable reports whether txnID may take key in mode.  Caller holds lm.mu.
-func (lm *LockManager) grantable(ls *lockState, txnID uint64, mode LockMode) bool {
+// grantable reports whether txnID may take key in mode.  Caller holds the
+// shard mutex.
+func grantable(ls *lockState, txnID uint64, mode LockMode) bool {
 	if mode == Shared {
 		return ls.writer == 0 || ls.writer == txnID
 	}
@@ -143,13 +290,26 @@ func (lm *LockManager) grantable(ls *lockState, txnID uint64, mode LockMode) boo
 	return true
 }
 
-// ReleaseAll releases every lock held by txnID.
+// ReleaseAll releases every lock held by txnID without publishing a virtual
+// release time (the keys' virtual frontiers stay put).
 func (lm *LockManager) ReleaseAll(txnID uint64, keys []string) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	lm.releaseAll(-1, txnID, keys)
+}
+
+// ReleaseAllAt releases every lock held by txnID and advances each key's
+// virtual release frontier to now, which is what drives waiters' virtual
+// timeouts forward.
+func (lm *LockManager) ReleaseAllAt(now sim.Time, txnID uint64, keys []string) {
+	lm.releaseAll(now, txnID, keys)
+}
+
+func (lm *LockManager) releaseAll(now sim.Time, txnID uint64, keys []string) {
 	for _, key := range keys {
-		ls, ok := lm.locks[key]
+		sh := lm.shard(key)
+		sh.mu.Lock()
+		ls, ok := sh.locks[key]
 		if !ok {
+			sh.mu.Unlock()
 			continue
 		}
 		// ReleaseAll is only called at commit/abort (strict two-phase
@@ -160,7 +320,11 @@ func (lm *LockManager) ReleaseAll(txnID uint64, keys []string) {
 			ls.wcount = 0
 		}
 		delete(ls.readers, txnID)
+		if now > ls.maxRelease {
+			ls.maxRelease = now
+		}
 		ls.cond.Broadcast()
+		sh.mu.Unlock()
 	}
 }
 
@@ -247,12 +411,13 @@ func (t *Txn) ResponseTime() time.Duration { return t.cursor.Now().Sub(t.start) 
 func (t *Txn) State() State { return t.state }
 
 // Lock acquires key in the given mode and remembers it for release at
-// commit/abort.
+// commit/abort.  The wait timeout is virtual-time-deterministic (see
+// LockManager.LockAt).
 func (t *Txn) Lock(key string, mode LockMode) error {
 	if t.state != Active {
 		return ErrTxnDone
 	}
-	if err := t.mgr.lm.Lock(t.id, key, mode); err != nil {
+	if err := t.mgr.lm.LockAt(t.cursor.Now(), t.id, key, mode); err != nil {
 		return err
 	}
 	if !t.lockSet[key] {
@@ -270,17 +435,19 @@ func (t *Txn) Log(typ wal.RecordType, objectID uint32, payload []byte) {
 	_, _ = t.mgr.log.Append(typ, t.id, objectID, payload)
 }
 
-// Commit writes the commit record, forces the log and releases all locks.
-// It returns the transaction's final virtual time.
+// Commit writes the commit record, forces the log (joining the group commit
+// of any concurrent committers) and releases all locks.  It returns the
+// transaction's final virtual time.
 func (t *Txn) Commit() (sim.Time, error) {
 	if t.state != Active {
 		return t.cursor.Now(), ErrTxnDone
 	}
 	if t.mgr.log != nil {
-		if _, err := t.mgr.log.Append(wal.RecCommit, t.id, 0, nil); err != nil {
+		lsn, err := t.mgr.log.Append(wal.RecCommit, t.id, 0, nil)
+		if err != nil {
 			return t.cursor.Now(), err
 		}
-		done, err := t.mgr.log.Flush(t.cursor.Now())
+		done, err := t.mgr.log.Commit(t.cursor.Now(), lsn)
 		if err != nil {
 			return t.cursor.Now(), err
 		}
@@ -288,7 +455,7 @@ func (t *Txn) Commit() (sim.Time, error) {
 	}
 	t.state = Committed
 	t.mgr.commits.Add(1)
-	t.mgr.lm.ReleaseAll(t.id, t.locks)
+	t.mgr.lm.ReleaseAllAt(t.cursor.Now(), t.id, t.locks)
 	return t.cursor.Now(), nil
 }
 
@@ -305,6 +472,6 @@ func (t *Txn) Abort() sim.Time {
 	}
 	t.state = Aborted
 	t.mgr.aborts.Add(1)
-	t.mgr.lm.ReleaseAll(t.id, t.locks)
+	t.mgr.lm.ReleaseAllAt(t.cursor.Now(), t.id, t.locks)
 	return t.cursor.Now()
 }

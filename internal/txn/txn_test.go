@@ -216,3 +216,166 @@ func TestConcurrentTransactionsSerializeOnLock(t *testing.T) {
 		t.Fatalf("commits = %d", m.Committed())
 	}
 }
+
+// TestLockVirtualTimeoutDeterministic checks that LockAt's timeout is driven
+// by virtual time on the key, not by host speed: a waiter with a 1 ms virtual
+// budget times out exactly when releases push the key's virtual frontier past
+// its deadline, and survives any amount of wall-clock waiting short of that.
+func TestLockVirtualTimeoutDeterministic(t *testing.T) {
+	lm := NewLockManager(time.Millisecond) // 1 ms of virtual time
+	lm.SetWallFallback(30 * time.Second)   // fallback far away: virtual path must fire
+
+	if err := lm.LockAt(0, 1, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		// Waiter at virtual time 0: virtual deadline is 1 ms.
+		errCh <- lm.LockAt(0, 2, "k", Exclusive)
+	}()
+	for lm.Stats().Waiting == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Holder releases at virtual time 0.5 ms and a third txn cycles the lock,
+	// releasing at 0.9 ms: frontier < deadline, waiter 2 must simply win the
+	// lock (it is granted on the release wake-up, not timed out).
+	lm.ReleaseAllAt(sim.Time(500_000), 1, []string{"k"})
+	if err := <-errCh; err != nil {
+		t.Fatalf("waiter timed out before its virtual deadline: %v", err)
+	}
+	lm.ReleaseAllAt(sim.Time(900_000), 2, []string{"k"})
+
+	// Now the deterministic timeout: holder takes the lock and only releases
+	// at virtual time 2.1 ms, past the waiter's 0.9+1.0=1.9 ms deadline.
+	if err := lm.LockAt(sim.Time(900_000), 3, "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		errCh <- lm.LockAt(sim.Time(900_000), 4, "k", Shared)
+	}()
+	for lm.Stats().Waiting == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Another key's release must not wake-or-time-out the waiter on "k".
+	lm.ReleaseAllAt(sim.Time(5_000_000), 9, []string{"other"})
+	select {
+	case err := <-errCh:
+		t.Fatalf("waiter finished on unrelated release: %v", err)
+	case <-time.After(2 * time.Millisecond):
+	}
+	// Holder 3 keeps the lock but a second waiter cycles a *shared* grant?
+	// No: release by 3 at 2.1 ms grants the lock to waiter 4 (grant wins over
+	// timeout when the lock became available on the same wake-up).
+	lm.ReleaseAllAt(sim.Time(2_100_000), 3, []string{"k"})
+	if err := <-errCh; err != nil {
+		t.Fatalf("waiter should be granted on release even past deadline: %v", err)
+	}
+	lm.ReleaseAllAt(sim.Time(2_100_000), 4, []string{"k"})
+
+	// True timeout: holder 5 keeps the lock while releases of the SAME key by
+	// a shared cohort push the frontier past the waiter's deadline.
+	if err := lm.LockAt(sim.Time(0), 5, "k2", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.LockAt(sim.Time(0), 6, "k2", Shared); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		errCh <- lm.LockAt(sim.Time(0), 7, "k2", Exclusive)
+	}()
+	for lm.Stats().Waiting == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Reader 6 releases at 2 ms; reader 5 still holds, so the writer cannot
+	// be granted — and the frontier (2 ms) is past its 1 ms deadline.
+	lm.ReleaseAllAt(sim.Time(2_000_000), 6, []string{"k2"})
+	if err := <-errCh; !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("want ErrLockTimeout, got %v", err)
+	}
+	st := lm.Stats()
+	if st.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", st.Timeouts)
+	}
+	if st.Waits < 3 {
+		t.Fatalf("waits = %d, want >= 3", st.Waits)
+	}
+}
+
+// TestLockManagerShardedStress hammers the sharded lock table from many
+// goroutines over many keys, mixing shared and exclusive modes, upgrades and
+// releases.  Run with -race this exercises the per-shard mutexes.
+func TestLockManagerShardedStress(t *testing.T) {
+	lm := NewLockManager(200 * time.Millisecond)
+	const workers = 8
+	const rounds = 300
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			r := sim.NewRand(id + 1)
+			now := sim.Time(0)
+			for i := 0; i < rounds; i++ {
+				held := make([]string, 0, 4)
+				// Take up to 3 locks in ascending key order (no deadlocks).
+				lo := r.Intn(len(keys) - 3)
+				for j := lo; j < lo+1+r.Intn(3); j++ {
+					mode := Shared
+					if r.Intn(2) == 0 {
+						mode = Exclusive
+					}
+					if err := lm.LockAt(now, id+1, keys[j], mode); err != nil {
+						errCh <- err
+						return
+					}
+					held = append(held, keys[j])
+				}
+				now = now.Add(sim.Duration(r.Intn(1000)) + 1)
+				lm.ReleaseAllAt(now, id+1, held)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := lm.Stats()
+	if st.Held != 0 || st.Waiting != 0 {
+		t.Fatalf("locks leaked: %+v", st)
+	}
+	if len(st.ShardWaits) != lockShards {
+		t.Fatalf("shard wait vector has %d entries, want %d", len(st.ShardWaits), lockShards)
+	}
+	var shardSum int64
+	for _, n := range st.ShardWaits {
+		shardSum += n
+	}
+	if shardSum != st.Waits {
+		t.Fatalf("shard waits sum %d != total waits %d", shardSum, st.Waits)
+	}
+}
+
+// TestLockWallFallbackCatchesDeadlock checks the wall-clock safety net: when
+// no release ever advances the key's virtual frontier (a deadlock), the
+// waiter still gets ErrLockTimeout after the fallback.
+func TestLockWallFallbackCatchesDeadlock(t *testing.T) {
+	lm := NewLockManager(time.Millisecond)
+	lm.SetWallFallback(20 * time.Millisecond)
+	if err := lm.LockAt(0, 1, "dead", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := lm.LockAt(0, 2, "dead", Exclusive)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("want ErrLockTimeout, got %v", err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("fallback fired too early: %v", el)
+	}
+}

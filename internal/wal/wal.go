@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"noftl/internal/core"
 	"noftl/internal/obs"
@@ -131,6 +132,21 @@ type Log struct {
 	flushes  int64
 	bytes    int64
 
+	// Group commit.  Committers queue behind a single flush leader; the
+	// leader forces everything appended so far with one device write chain,
+	// making all queued commit records durable at once.  commitBatch and
+	// commitDelay let the leader linger (wall clock) for more committers to
+	// join before flushing.
+	commitCond    *sync.Cond
+	flushLeader   bool
+	commitPending int
+	commitBatch   int
+	commitDelay   time.Duration
+	groupMaxNow   sim.Time // max virtual time across the forming group
+	flushDoneAt   sim.Time // virtual end of the latest flush
+	groupCommits  int64    // flushes that made more than one committer durable
+	groupedTxns   int64    // committers served by Commit, across all groups
+
 	tracer *obs.Tracer // nil = tracing off
 }
 
@@ -143,15 +159,35 @@ type sealedPage struct {
 // (normally the hint of the log object's tablespace).
 func New(mgr *core.Manager, hint core.Hint, pageSize int) *Log {
 	l := &Log{
-		mgr:        mgr,
-		hint:       hint,
-		pageSize:   pageSize,
-		nextLSN:    1,
-		pageMaxLSN: make(map[core.LPN]uint64),
+		mgr:         mgr,
+		hint:        hint,
+		pageSize:    pageSize,
+		nextLSN:     1,
+		pageMaxLSN:  make(map[core.LPN]uint64),
+		commitBatch: 1,
 	}
+	l.commitCond = sync.NewCond(&l.mu)
 	l.hint.Flags |= flashFlagLog
 	l.openPage()
 	return l
+}
+
+// SetGroupCommit configures the group-commit window: a flush leader lingers
+// up to delay (wall clock) for up to batch committers to queue before forcing
+// the log.  batch <= 1 or delay <= 0 disables the linger; committers then
+// still piggyback on an in-flight flush, they just never wait for one to
+// form.  Configure before the log sees concurrent commits.
+func (l *Log) SetGroupCommit(batch int, delay time.Duration) {
+	l.mu.Lock()
+	if batch < 1 {
+		batch = 1
+	}
+	l.commitBatch = batch
+	if delay < 0 {
+		delay = 0
+	}
+	l.commitDelay = delay
+	l.mu.Unlock()
 }
 
 // flashFlagLog mirrors flash.FlagLog without importing the flash package
@@ -201,6 +237,23 @@ func (l *Log) Flushes() int64 {
 	return l.flushes
 }
 
+// GroupCommits returns the number of log forces that made more than one
+// committer durable at once.
+func (l *Log) GroupCommits() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.groupCommits
+}
+
+// GroupedTxns returns the number of committers served by Commit across all
+// groups (GroupedTxns / Flushes is the mean group size when every force goes
+// through Commit).
+func (l *Log) GroupedTxns() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.groupedTxns
+}
+
 // PageCount returns the number of log pages allocated.
 func (l *Log) PageCount() int {
 	l.mu.Lock()
@@ -244,6 +297,8 @@ func (l *Log) Append(typ RecordType, txnID uint64, objectID uint32, payload []by
 
 // Flush forces every appended record to the device (sealed full pages plus
 // the current partial page) and returns the caller's advanced virtual time.
+// If a group-commit flush is in flight, Flush waits for it and then forces
+// whatever is still buffered.
 //
 // The log is deliberately written page-at-a-time rather than as one
 // die-striped batch: the WAL is an append stream confined to its (often
@@ -252,36 +307,147 @@ func (l *Log) Append(typ RecordType, txnID uint64, objectID uint32, payload []by
 func (l *Log) Flush(now sim.Time) (sim.Time, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.flushLeader {
+		l.commitCond.Wait()
+	}
 	if l.flushedLSN == l.nextLSN-1 {
 		return now, nil // nothing new
 	}
-	start := now
-	newlyDurable := (l.nextLSN - 1) - l.flushedLSN
-	for _, sp := range l.sealedWr {
-		done, err := l.mgr.WritePage(now, sp.lpn, sp.data, l.hint)
-		if err != nil {
-			return now, fmt.Errorf("wal: flush sealed page: %w", err)
-		}
-		now = done
+	l.flushLeader = true
+	if now > l.groupMaxNow {
+		l.groupMaxNow = now
 	}
-	l.sealedWr = nil
-	// Write the partial page as well; re-writing it later simply supersedes
-	// this version out of place.
-	done, err := l.mgr.WritePage(now, l.curLPN, l.cur, l.hint)
+	done, err := l.flushGroupLocked()
+	l.flushLeader = false
+	l.commitCond.Broadcast()
 	if err != nil {
-		return now, fmt.Errorf("wal: flush current page: %w", err)
+		return now, err
 	}
-	now = done
-	l.flushedLSN = l.nextLSN - 1
+	return sim.MaxTime(now, done), nil
+}
+
+// Commit makes the record at lsn (and everything before it) durable and
+// returns the virtual time at which durability was reached for a committer
+// whose current virtual time is now.  Concurrent committers form a group: one
+// becomes the flush leader and forces the log once for all of them; the rest
+// wait for the leader and return without issuing any device writes of their
+// own.  That one force is what lets N workers commit with far fewer than N
+// log-page writes.
+func (l *Log) Commit(now sim.Time, lsn uint64) (sim.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now > l.groupMaxNow {
+		l.groupMaxNow = now
+	}
+	l.commitPending++
+	defer func() { l.commitPending-- }()
+	if l.flushLeader {
+		// Wake a leader lingering for its group to fill.
+		l.commitCond.Broadcast()
+	}
+	for {
+		if l.flushedLSN >= lsn {
+			l.groupedTxns++
+			return sim.MaxTime(now, l.flushDoneAt), nil
+		}
+		if !l.flushLeader {
+			break
+		}
+		l.commitCond.Wait()
+	}
+	// We are the flush leader for this group.
+	l.flushLeader = true
+	if l.commitBatch > 1 && l.commitDelay > 0 {
+		// Linger (wall clock) for more committers, bounded by the window.
+		deadline := time.Now().Add(l.commitDelay)
+		for l.commitPending < l.commitBatch {
+			wait := time.Until(deadline)
+			if wait <= 0 {
+				break
+			}
+			timer := time.AfterFunc(wait, l.commitCond.Broadcast)
+			l.commitCond.Wait()
+			timer.Stop()
+		}
+	}
+	grouped := int64(l.commitPending)
+	done, err := l.flushGroupLocked()
+	l.flushLeader = false
+	l.commitCond.Broadcast()
+	if err != nil {
+		return now, err
+	}
+	l.groupedTxns++
+	if grouped > 1 {
+		l.groupCommits++
+	}
+	return sim.MaxTime(now, done), nil
+}
+
+// flushGroupLocked forces everything appended so far.  Caller holds l.mu and
+// has claimed flush leadership; the device writes happen with l.mu released,
+// so appends (and committers joining the next group) proceed during the
+// force.  Returns with l.mu held.
+func (l *Log) flushGroupLocked() (sim.Time, error) {
+	flushNow := l.groupMaxNow
+	l.groupMaxNow = 0
+	if l.flushedLSN == l.nextLSN-1 {
+		return sim.MaxTime(flushNow, l.flushDoneAt), nil
+	}
+	hw := l.nextLSN - 1
+	newlyDurable := hw - l.flushedLSN
+	sealed := l.sealedWr
+	l.sealedWr = nil
+	curLPN := l.curLPN
+	// Snapshot the partial page: appends may extend l.cur while the device
+	// writes run.  Records beyond the snapshot stay buffered for the next
+	// force; re-writing the page later simply supersedes this version out of
+	// place.
+	cur := append([]byte(nil), l.cur...)
+	start := flushNow
+	l.mu.Unlock()
+	vnow := flushNow
+	var err error
+	for _, sp := range sealed {
+		var done sim.Time
+		done, err = l.mgr.WritePage(vnow, sp.lpn, sp.data, l.hint)
+		if err != nil {
+			err = fmt.Errorf("wal: flush sealed page: %w", err)
+			break
+		}
+		vnow = done
+	}
+	if err == nil {
+		var done sim.Time
+		done, err = l.mgr.WritePage(vnow, curLPN, cur, l.hint)
+		if err != nil {
+			err = fmt.Errorf("wal: flush current page: %w", err)
+		} else {
+			vnow = done
+		}
+	}
+	l.mu.Lock()
+	if err != nil {
+		// Put the sealed pages back (ahead of any sealed since) so a retry
+		// re-writes them.
+		l.sealedWr = append(sealed, l.sealedWr...)
+		return vnow, err
+	}
+	if hw > l.flushedLSN {
+		l.flushedLSN = hw
+	}
+	if vnow > l.flushDoneAt {
+		l.flushDoneAt = vnow
+	}
 	l.flushes++
 	if l.tracer.Enabled(obs.ClassWALSync) {
 		l.tracer.Record(obs.Event{
 			Class: obs.ClassWALSync, Die: -1, Block: -1, Page: -1,
-			Region: int32(l.hint.Region), Start: start, End: now,
+			Region: int32(l.hint.Region), Start: start, End: vnow,
 			A: int64(newlyDurable), B: int64(l.flushedLSN),
 		})
 	}
-	return now, nil
+	return vnow, nil
 }
 
 // ReadAll reads every durable log record back from the device in LSN order

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"noftl/internal/core"
 	"noftl/internal/flash"
+	"noftl/internal/sim"
 )
 
 func testLog(t *testing.T) (*Log, *core.Manager) {
@@ -200,5 +203,109 @@ func TestTruncateDropsOldPages(t *testing.T) {
 	}
 	if len(recs) == 0 || recs[len(recs)-1].LSN != 300 {
 		t.Fatalf("latest records lost after truncate: %d records", len(recs))
+	}
+}
+
+// TestGroupCommitConcurrent drives many goroutines through Append+Commit on
+// one log and checks that (a) every committer observes its own record as
+// durable, (b) the recovered log preserves append (LSN) order exactly, and
+// (c) the committers shared flushes: far fewer log forces than commits.
+func TestGroupCommitConcurrent(t *testing.T) {
+	l, _ := testLog(t)
+	l.SetGroupCommit(8, 2*time.Millisecond)
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			now := sim.Time(0)
+			for i := 0; i < perWorker; i++ {
+				txn := uint64(id*perWorker + i + 1)
+				if _, err := l.Append(RecUpdate, txn, 7, []byte{byte(id)}); err != nil {
+					errCh <- err
+					return
+				}
+				lsn, err := l.Append(RecCommit, txn, 0, nil)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				done, err := l.Commit(now, lsn)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				now = done
+				if got := l.FlushedLSN(); got < lsn {
+					errCh <- fmt.Errorf("commit returned but lsn %d > flushed %d", lsn, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	const commits = workers * perWorker
+	if got := l.GroupedTxns(); got != commits {
+		t.Fatalf("grouped txns = %d, want %d", got, commits)
+	}
+	if got := l.Flushes(); got >= commits {
+		t.Fatalf("no grouping: %d flushes for %d commits", got, commits)
+	}
+	if l.GroupCommits() == 0 {
+		t.Fatalf("no flush ever served more than one committer")
+	}
+	// Crash consistency: the durable image decodes cleanly and LSNs are
+	// strictly sequential in recovery order (append order preserved).
+	recs, _, err := l.ReadAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2*commits {
+		t.Fatalf("recovered %d records, want %d", len(recs), 2*commits)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d: append order not preserved", i, r.LSN)
+		}
+	}
+	committed, _, err := l.CommittedTxns(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(committed) != commits {
+		t.Fatalf("recovered %d committed txns, want %d", len(committed), commits)
+	}
+}
+
+// TestCommitAlreadyDurable checks the piggyback path: a commit whose LSN was
+// already forced by an earlier group returns without a new flush.
+func TestCommitAlreadyDurable(t *testing.T) {
+	l, _ := testLog(t)
+	lsn1, _ := l.Append(RecCommit, 1, 0, nil)
+	lsn2, _ := l.Append(RecCommit, 2, 0, nil)
+	if _, err := l.Commit(10, lsn2); err != nil {
+		t.Fatal(err)
+	}
+	flushes := l.Flushes()
+	done, err := l.Commit(5, lsn1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Flushes() != flushes {
+		t.Fatalf("already-durable commit forced the log again")
+	}
+	if done < 10 {
+		t.Fatalf("commit time %v went backwards past the covering flush", done)
+	}
+	// Flush with nothing buffered is a no-op too.
+	if now, err := l.Flush(123); err != nil || now != 123 {
+		t.Fatalf("empty flush: now=%v err=%v", now, err)
 	}
 }

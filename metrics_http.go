@@ -81,10 +81,29 @@ func (db *DB) scrapeGauges() {
 	reg.Counter("noftl_txn_committed_total", "Transactions committed.").With().Store(db.txns.Committed())
 	reg.Counter("noftl_txn_aborted_total", "Transactions aborted.").With().Store(db.txns.Aborted())
 
+	locks := db.txns.LockManager().Stats()
+	reg.Counter("noftl_txn_lock_waits_total",
+		"Lock acquisitions that had to block.").With().Store(locks.Waits)
+	reg.Counter("noftl_txn_lock_timeouts_total",
+		"Lock waits that ended as deadlock victims (ErrLockTimeout).").With().Store(locks.Timeouts)
+	reg.Gauge("noftl_txn_locks_held",
+		"Keys currently locked (shared or exclusive).").With().Set(locks.Held)
+	reg.Gauge("noftl_txn_locks_waiting",
+		"Transactions currently blocked on a lock.").With().Set(locks.Waiting)
+	shardWaits := reg.Counter("noftl_txn_lock_shard_waits_total",
+		"Lock waits per lock-table hash shard.", "shard")
+	for i, n := range locks.ShardWaits {
+		shardWaits.With(strconv.Itoa(i)).Store(n)
+	}
+
 	if db.log != nil {
 		reg.Counter("noftl_wal_appends_total", "WAL records appended.").With().Store(db.log.Appended())
 		reg.Counter("noftl_wal_flushes_total", "WAL flushes that wrote pages.").With().Store(db.log.Flushes())
 		reg.Gauge("noftl_wal_flushed_lsn", "Highest durable WAL log sequence number.").With().Set(int64(db.log.FlushedLSN()))
+		reg.Counter("noftl_wal_group_commits_total",
+			"WAL forces that made more than one committer durable at once.").With().Store(db.log.GroupCommits())
+		reg.Counter("noftl_wal_grouped_txns_total",
+			"Committers served by the WAL group-commit path.").With().Store(db.log.GroupedTxns())
 	}
 
 	dev := db.dev.Stats()

@@ -22,6 +22,9 @@ type Stats struct {
 	TxnStarted   int64
 	TxnCommitted int64
 	TxnAborted   int64
+	// Txn carries the lock manager's contention counters (waits, timeouts,
+	// held/waiting locks, per-shard wait skew).
+	Txn TxnStats
 	// Buffer pool
 	Buffer buffer.Stats
 	// Scheduler covers the asynchronous I/O scheduler between the space
@@ -81,6 +84,21 @@ type TraceStats struct {
 	Retained int64
 }
 
+// TxnStats is a snapshot of the lock manager's contention counters.
+type TxnStats struct {
+	// LockWaits counts lock acquisitions that had to block; LockTimeouts
+	// counts waits that ended as deadlock victims (ErrLockTimeout).
+	LockWaits    int64
+	LockTimeouts int64
+	// LocksHeld is the number of keys locked at snapshot time; LockWaiting
+	// is the number of transactions blocked on a key at snapshot time.
+	LocksHeld   int64
+	LockWaiting int64
+	// ShardWaits is the per-shard breakdown of LockWaits over the lock
+	// table's hash shards, exposing contention skew.
+	ShardWaits []int64
+}
+
 // WALStats is a snapshot of the write-ahead log's counters.
 type WALStats struct {
 	// Appended is the number of records appended.
@@ -91,6 +109,11 @@ type WALStats struct {
 	Pages int64
 	// FlushedLSN is the highest durable log sequence number.
 	FlushedLSN uint64
+	// GroupCommits is the number of log forces that made more than one
+	// committer durable at once; GroupedTxns is the number of committers
+	// served by the group-commit path in total.
+	GroupCommits int64
+	GroupedTxns  int64
 }
 
 // TPS returns committed transactions per simulated second.
@@ -129,11 +152,19 @@ func (s Stats) String() string {
 func (db *DB) Stats() Stats {
 	space := db.space.Stats()
 	read, write := space.LatencySnapshot()
+	lockStats := db.txns.LockManager().Stats()
 	st := Stats{
 		Simulated:    time.Duration(db.clock.Now()),
 		TxnStarted:   db.txns.Started(),
 		TxnCommitted: db.txns.Committed(),
 		TxnAborted:   db.txns.Aborted(),
+		Txn: TxnStats{
+			LockWaits:    lockStats.Waits,
+			LockTimeouts: lockStats.Timeouts,
+			LocksHeld:    lockStats.Held,
+			LockWaiting:  lockStats.Waiting,
+			ShardWaits:   lockStats.ShardWaits,
+		},
 		Buffer:       db.pool.Stats(),
 		Scheduler:    db.schedulerStats(),
 		Space:        space,
@@ -144,10 +175,12 @@ func (db *DB) Stats() Stats {
 	}
 	if db.log != nil {
 		st.WAL = WALStats{
-			Appended:   db.log.Appended(),
-			Flushes:    db.log.Flushes(),
-			Pages:      int64(db.log.PageCount()),
-			FlushedLSN: db.log.FlushedLSN(),
+			Appended:     db.log.Appended(),
+			Flushes:      db.log.Flushes(),
+			Pages:        int64(db.log.PageCount()),
+			FlushedLSN:   db.log.FlushedLSN(),
+			GroupCommits: db.log.GroupCommits(),
+			GroupedTxns:  db.log.GroupedTxns(),
 		}
 	}
 	if db.tracer != nil {
