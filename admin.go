@@ -37,6 +37,11 @@ type Admin interface {
 	// ring buffer keeps recording, so mid-run dumps are snapshots, not
 	// drains.
 	TraceDump(w io.Writer) (int, error)
+	// ArmFaults arms a deterministic fault-injection plan on the flash
+	// device from this point on (chaos harnesses arm after schema setup so
+	// crash points land in the measured workload).  See WithFaultPlan for
+	// arming at open.
+	ArmFaults(plan FaultPlan)
 }
 
 // Admin returns the administrative facade.
@@ -59,7 +64,11 @@ func (a *admin) GrowRegion(name string, n int) error {
 	if err := a.db.checkOpen(); err != nil {
 		return err
 	}
-	return publicErr(a.db.space.GrowRegion(name, n))
+	if err := a.db.space.GrowRegion(name, n); err != nil {
+		return publicErr(err)
+	}
+	// Die assignment is part of the checkpoint snapshot; keep it durable.
+	return a.db.checkpointAfterDDL()
 }
 
 func (a *admin) SetGCPolicy(region string, gc GCPolicy) error {
@@ -69,10 +78,12 @@ func (a *admin) SetGCPolicy(region string, gc GCPolicy) error {
 	if err := a.db.space.SetGCPolicy(region, gc); err != nil {
 		return publicErr(err)
 	}
-	if region == core.DefaultRegionName {
-		return nil
+	if region != core.DefaultRegionName {
+		if err := a.db.cat.UpdateRegionGC(region, gc); err != nil {
+			return publicErr(err)
+		}
 	}
-	return publicErr(a.db.cat.UpdateRegionGC(region, gc))
+	return a.db.checkpointAfterDDL()
 }
 
 func (a *admin) GCPolicy(region string) (GCPolicy, bool) {
@@ -89,4 +100,8 @@ func (a *admin) VerifyIntegrity() error {
 
 func (a *admin) TraceDump(w io.Writer) (int, error) {
 	return a.db.tracer.Dump(w)
+}
+
+func (a *admin) ArmFaults(plan FaultPlan) {
+	a.db.dev.Arm(plan)
 }

@@ -22,8 +22,8 @@ func (t *Table) InsertBatch(tx *Tx, rows [][]byte) ([]RID, error) {
 	}
 	rids, done, err := t.heap.InsertBatch(tx.Now(), rows)
 	tx.inner.AdvanceTo(done)
-	for _, rid := range rids {
-		tx.inner.Log(wal.RecInsert, t.objectID, rid.Encode())
+	for i, rid := range rids {
+		tx.inner.Log(wal.RecInsert, t.objectID, wal.EncodeRowPayload(rid, rows[i]))
 	}
 	t.db.objStats.RecordAppend(t.name, int64(len(rids)))
 	return rids, publicErr(err)

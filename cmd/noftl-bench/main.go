@@ -44,9 +44,10 @@ type jsonDoc struct {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6, tpcc or all")
+		"comma-separated experiments to run: figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6, tpcc, chaos or all")
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small or paper")
 	workers := flag.Int("workers", 8, "parallel worker goroutines for the tpcc scaling experiment")
+	seeds := flag.Int("seeds", 16, "seeded crash points for the chaos experiment")
 	minTPCCScaling := flag.Float64("min-tpcc-scaling", 4.0,
 		"fail the tpcc experiment when N-worker wall-clock throughput scales below this factor (capped at NumCPU/2; skipped on single-core machines; 0 disables)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" for stdout)")
@@ -116,6 +117,7 @@ func main() {
 		"all": true, "figure2": true, "figure3": true, "headline": true,
 		"parallelism": true, "hotcold": true, "ftl": true, "sweep": true,
 		"batch": true, "batch_dml": true, "a6": true, "tpcc": true,
+		"chaos": true,
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*experiment, ",") {
@@ -124,7 +126,7 @@ func main() {
 			continue
 		}
 		if !known[name] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6, tpcc or all)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure2, figure3, headline, parallelism, hotcold, ftl, sweep, batch, batch_dml, a6, tpcc, chaos or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
@@ -254,6 +256,17 @@ func main() {
 		})
 	}
 
+	if want("chaos") {
+		run("chaos", "Chaos: seeded crash-injection and recovery campaign", func() (interface{}, error) {
+			res, err := experiments.RunChaos(*seeds)
+			if err != nil {
+				return nil, err
+			}
+			say("%s\n", res.String())
+			return res, nil
+		})
+	}
+
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -327,6 +340,7 @@ type baselineDoc struct {
 		BatchDML *experiments.BatchDMLResult     `json:"batch_dml"`
 		A6       *experiments.BackgroundGCResult `json:"a6"`
 		TPCC     *experiments.TPCCScalingResult  `json:"tpcc"`
+		Chaos    *experiments.ChaosResult        `json:"chaos"`
 	} `json:"experiments"`
 }
 
@@ -388,6 +402,16 @@ func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, err
 		// time by -min-tpcc-scaling with a NumCPU-aware bar instead.
 		lowerBound("tpcc virtual TPS (1 worker)",
 			cur.Experiments.TPCC.Baseline.TPS, base.Experiments.TPCC.Baseline.TPS)
+	}
+	if cur.Experiments.Chaos != nil && base.Experiments.Chaos != nil &&
+		cur.Experiments.Chaos.Seeds == base.Experiments.Chaos.Seeds {
+		// The campaign is fully deterministic for a fixed seed count, so the
+		// replay volume is exactly reproducible: a rise means the periodic
+		// checkpoints stopped bounding recovery.
+		upperBound("chaos recovery replay bytes per seed",
+			cur.Experiments.Chaos.ReplayBytesPerSeed, base.Experiments.Chaos.ReplayBytesPerSeed)
+		lowerBound("chaos rows recovered",
+			float64(cur.Experiments.Chaos.RowsRecovered), float64(base.Experiments.Chaos.RowsRecovered))
 	}
 	if cur.Experiments.A6 != nil && base.Experiments.A6 != nil {
 		upperBound("A6 write amplification (hot/cold separated)", cur.Experiments.A6.SeparatedWA, base.Experiments.A6.SeparatedWA)

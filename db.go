@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"noftl/internal/buffer"
 	"noftl/internal/catalog"
@@ -41,15 +42,38 @@ type DB struct {
 	indexes     map[string]*Index
 	objectNames map[uint32]string
 	closed      bool
+
+	// Checkpointing.  ckptMu is the quiesce lock: every transaction holds it
+	// shared from Begin to Commit/Abort, a checkpoint holds it exclusively,
+	// so snapshots see no in-flight transaction.  recovering suppresses
+	// checkpoint triggers while recovery rebuilds the database through the
+	// normal DDL/heap/btree paths.
+	ckptMu      sync.RWMutex
+	ckptRunning atomic.Bool
+	ckptSeq     uint64 // checkpoint sequence number (RecCheckpoint TxnID)
+	ckptCount   int64
+	ckptChunks  int64
+	ckptLastLSN uint64 // LSN of the last checkpoint's final chunk
+	ckptBytes   int64  // snapshot size of the last checkpoint
+	ckptTime    sim.Time
+	ckptWALMark int64 // BytesAppended at the last checkpoint
+	recovering  bool
+	recovery    *RecoveryStats // non-nil after Reopen
 }
 
 // openOn wires the database layers over an already-created device.  The
 // public entry points are Open and OpenConfig (options.go).
 func openOn(cfg Config, dev *flash.Device) (*DB, error) {
+	return openWith(cfg, dev, core.NewManager(dev, cfg.Space))
+}
+
+// openWith wires the layers over an explicit space manager; recovery passes
+// one that already adopted the crashed device's physical state.
+func openWith(cfg Config, dev *flash.Device, space *core.Manager) (*DB, error) {
 	db := &DB{
 		cfg:         cfg,
 		dev:         dev,
-		space:       core.NewManager(dev, cfg.Space),
+		space:       space,
 		cat:         catalog.New(),
 		clock:       sim.NewClock(),
 		objStats:    metrics.NewObjectStats(),
@@ -417,9 +441,12 @@ func (db *DB) alterRegionGC(s ddl.AlterRegion) (string, error) {
 	if s.Name == core.DefaultRegionName {
 		// The default region has no catalog entry; the live policy is all
 		// there is to update.
-		return "", nil
+		return "", db.checkpointAfterDDL()
 	}
-	return "", db.cat.UpdateRegionGC(s.Name, gc)
+	if err := db.cat.UpdateRegionGC(s.Name, gc); err != nil {
+		return "", err
+	}
+	return "", db.checkpointAfterDDL()
 }
 
 // dropRegion removes a region from both catalog and space manager (the DROP
@@ -428,7 +455,10 @@ func (db *DB) dropRegion(name string) error {
 	if err := db.cat.DropRegion(name); err != nil {
 		return publicErr(err)
 	}
-	return publicErr(db.space.DropRegion(name))
+	if err := db.space.DropRegion(name); err != nil {
+		return publicErr(err)
+	}
+	return db.checkpointAfterDDL()
 }
 
 // CreateRegion creates a NoFTL region (programmatic form of CREATE REGION).
@@ -456,7 +486,7 @@ func (db *DB) CreateRegion(spec RegionSpec) error {
 		_ = db.space.DropRegion(spec.Name)
 		return publicErr(err)
 	}
-	return nil
+	return db.checkpointAfterDDL()
 }
 
 // CreateTablespace creates a tablespace bound to a region ("" or "DEFAULT"
@@ -484,7 +514,7 @@ func (db *DB) CreateTablespace(name, region string, extentPages int) error {
 	db.mu.Lock()
 	db.tablespaces[name] = storage.NewTablespace(name, regionID, extentPages, db.space)
 	db.mu.Unlock()
-	return nil
+	return db.checkpointAfterDDL()
 }
 
 // tablespace returns the runtime tablespace object.
@@ -521,7 +551,7 @@ func (db *DB) CreateTable(name, tablespace string, columns []Column) (*Table, er
 	db.objectNames[objID] = name
 	db.mu.Unlock()
 	db.objStats.Register(name, "table", ts.Name())
-	return t, nil
+	return t, db.checkpointAfterDDL()
 }
 
 // DropTable removes a table, its indexes, and trims their pages on flash so
@@ -556,7 +586,7 @@ func (db *DB) DropTable(name string) error {
 	for _, idx := range droppedIndexes {
 		db.trimPages(idx.tree.PageList())
 	}
-	return nil
+	return db.checkpointAfterDDL()
 }
 
 // trimPages drops the pages from the buffer pool and unmaps them in the
@@ -587,7 +617,7 @@ func (db *DB) DropIndex(name string) error {
 		return publicErr(err)
 	}
 	db.trimPages(idx.tree.PageList())
-	return nil
+	return db.checkpointAfterDDL()
 }
 
 // DropTablespace removes an empty tablespace (the DROP TABLESPACE path).
@@ -609,7 +639,7 @@ func (db *DB) DropTablespace(name string) error {
 	db.mu.Lock()
 	delete(db.tablespaces, name)
 	db.mu.Unlock()
-	return nil
+	return db.checkpointAfterDDL()
 }
 
 // CreateIndex creates a B+-tree index on a table in the given tablespace
@@ -647,7 +677,7 @@ func (db *DB) CreateIndex(name, table string, columns []string, unique bool, tab
 	db.objectNames[objID] = name
 	db.mu.Unlock()
 	db.objStats.Register(name, "index", ts.Name())
-	return idx, nil
+	return idx, db.checkpointAfterDDL()
 }
 
 // Table returns a handle to an existing table.
@@ -678,13 +708,17 @@ func (db *DB) Tables() []string {
 // Begin starts a transaction whose virtual clock starts at the global
 // simulated time.
 func (db *DB) Begin() *Tx {
-	return &Tx{db: db, inner: db.txns.Begin(db.clock.Now())}
+	return db.BeginAt(db.clock.Now())
 }
 
 // BeginAt starts a transaction at an explicit virtual time (used by the
 // closed-loop benchmark terminals, which carry their own time cursors).
+// Every transaction holds the checkpoint quiesce lock shared until it
+// commits or aborts, so checkpoints capture transaction-consistent
+// snapshots.
 func (db *DB) BeginAt(now sim.Time) *Tx {
-	return &Tx{db: db, inner: db.txns.Begin(now)}
+	db.ckptMu.RLock()
+	return &Tx{db: db, inner: db.txns.Begin(now), quiesced: true}
 }
 
 // Update runs fn inside a read-write transaction.  The transaction is
@@ -739,25 +773,16 @@ func (db *DB) FlushAll(now sim.Time) (sim.Time, error) {
 	return db.pool.FlushAll(now)
 }
 
-// Checkpoint flushes all dirty pages, truncates the WAL up to the current
-// LSN and returns the advanced time.
+// Checkpoint quiesces transactions, flushes all dirty pages, appends a full
+// logical snapshot of the database to the WAL, truncates the log below the
+// snapshot, and returns the advanced time.  Crash recovery restores the last
+// complete snapshot and replays only the records written after it, so
+// checkpoint frequency bounds recovery work (see WithCheckpointEvery).
 func (db *DB) Checkpoint(now sim.Time) (sim.Time, error) {
 	if err := db.checkOpen(); err != nil {
 		return now, err
 	}
-	done, err := db.pool.FlushAll(now)
-	if err != nil {
-		return done, err
-	}
-	if db.log != nil {
-		if _, err := db.log.Append(wal.RecCheckpoint, 0, 0, nil); err != nil {
-			return done, err
-		}
-		done, err = db.log.Flush(done)
-		if err != nil {
-			return done, err
-		}
-		db.log.Truncate(db.log.FlushedLSN())
-	}
-	return done, nil
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	return db.checkpointLocked(now)
 }

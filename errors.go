@@ -8,6 +8,7 @@ import (
 	"noftl/internal/catalog"
 	"noftl/internal/core"
 	"noftl/internal/ddl"
+	"noftl/internal/flash"
 	"noftl/internal/storage"
 	"noftl/internal/txn"
 )
@@ -33,6 +34,14 @@ var (
 	// ErrRegionFull reports a write that exceeded its region's logical
 	// capacity (and could not spill).
 	ErrRegionFull = errors.New("noftl: region full")
+	// ErrCrashed reports that the simulated device hit an injected crash
+	// point (see WithFaultPlan): every further operation fails until the
+	// database is reopened with Reopen, which runs crash recovery.
+	ErrCrashed = flash.ErrCrashed
+	// ErrCorruptLog reports that crash recovery found the surviving log
+	// unusable (a non-tail log page with no valid version, or a missing log
+	// prefix without a covering checkpoint).
+	ErrCorruptLog = errors.New("noftl: corrupt log")
 )
 
 // DDLError is the structured error returned by Exec: which statement failed,

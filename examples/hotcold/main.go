@@ -28,6 +28,10 @@ func runWorkload(separate bool) noftl.Stats {
 		BlocksPerDie: 8, PagesPerBlock: 32, PageSize: 4096,
 	}
 	cfg.BufferPoolPages = 128
+	// Benchmark regime: light checkpoints bound the row-image WAL without
+	// writing snapshots through it — crash recovery is not this example's
+	// story, and full snapshots would not fit the deliberately small device.
+	cfg.DisableSnapshotCheckpoints = true
 	if !separate {
 		cfg.Space.Mode = noftl.PlacementTraditional
 	}
@@ -50,14 +54,30 @@ func runWorkload(separate bool) noftl.Stats {
 	cold, _ := db.Table("COLD")
 	row := make([]byte, rowSize)
 
-	// Load the cold data once and remember the RIDs of the hot rows.
-	tx := db.Begin()
+	// Load the cold data once and remember the RIDs of the hot rows.  The
+	// load is chunked with a checkpoint per chunk so the log's flash
+	// footprint stays bounded while the data fills the device.
 	var hotRIDs []noftl.RID
-	for i := 0; i < coldRows; i++ {
-		if _, err := cold.Insert(tx, row); err != nil {
+	for loaded := 0; loaded < coldRows; {
+		chunk := coldRows - loaded
+		if chunk > 1000 {
+			chunk = 1000
+		}
+		tx := db.Begin()
+		for i := 0; i < chunk; i++ {
+			if _, err := cold.Insert(tx, row); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
 			log.Fatal(err)
 		}
+		if _, err := db.Checkpoint(db.SimulatedTime()); err != nil {
+			log.Fatal(err)
+		}
+		loaded += chunk
 	}
+	tx := db.Begin()
 	for i := 0; i < hotRows; i++ {
 		rid, err := hot.Insert(tx, row)
 		if err != nil {

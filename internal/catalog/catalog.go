@@ -99,6 +99,16 @@ func (c *Catalog) NextObjectID() uint32 {
 	return id
 }
 
+// EnsureNextObjectID raises the object-id counter so fresh ids never collide
+// with ids preserved across recovery.
+func (c *Catalog) EnsureNextObjectID(min uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nextObject < min {
+		c.nextObject = min
+	}
+}
+
 // AddRegion registers a region.
 func (c *Catalog) AddRegion(r Region) error {
 	c.mu.Lock()

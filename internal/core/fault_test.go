@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"noftl/internal/flash"
+	"noftl/internal/sim"
+)
+
+// faultCampaign overwrites a working set under an armed fault plan until GC
+// has run and some erases have failed, then checks that no live page was
+// lost: every logical page still reads back its latest contents and the
+// space manager's invariants hold.
+// Every failed erase retires a block for good, so the device needs enough
+// spare blocks to survive the whole campaign's worth of retirements.
+func faultCampaign(t *testing.T, plan flash.FaultPlan) {
+	t.Helper()
+	dev := smallDevice(t, 2, 32, 8)
+	dev.Arm(plan)
+	opts := DefaultOptions()
+	opts.OverprovisionPct = 0.25
+	m := NewManager(dev, opts)
+
+	const pages = 80
+	const rounds = 10
+	start := m.AllocateLPNs(pages)
+	now := sim.Time(0)
+	latest := make([]byte, pages)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < pages; i++ {
+			tag := byte(r*31 + i)
+			done, err := m.WritePage(now, start+LPN(i), fillPage(dev, tag), Hint{})
+			if err != nil {
+				t.Fatalf("round %d page %d: %v", r, i, err)
+			}
+			latest[i] = tag
+			now = done
+		}
+	}
+
+	st := m.Stats()
+	if st.GCErases == 0 {
+		t.Fatal("workload never forced GC; the campaign exercised nothing")
+	}
+	if st.ValidPages != pages {
+		t.Fatalf("valid pages = %d, want %d", st.ValidPages, pages)
+	}
+	for i := 0; i < pages; i++ {
+		got, _, err := m.ReadPage(now, start+LPN(i), nil)
+		if err != nil {
+			t.Fatalf("read lpn %d after faults: %v", i, err)
+		}
+		if !bytes.Equal(got, fillPage(dev, latest[i])) {
+			t.Fatalf("lpn %d lost its latest version under faults", i)
+		}
+	}
+	if err := m.VerifyIntegrity(); err != nil {
+		t.Fatalf("integrity after fault campaign: %v", err)
+	}
+}
+
+// TestGCSurvivesEraseFailures makes every Nth erase fail — the victim block
+// has already had its live pages relocated when the erase fires, so the
+// failed (now bad) block must retire without losing data, and the victim
+// scans must never re-pick it.
+func TestGCSurvivesEraseFailures(t *testing.T) {
+	faultCampaign(t, flash.FaultPlan{Seed: 1, FailEraseEvery: 5})
+}
+
+// TestGCSurvivesProgramFailures makes every Nth program fault transiently:
+// host writes and GC copybacks must retry on a fresh page (retiring the
+// block if the device marked it bad) without dropping the data being moved.
+func TestGCSurvivesProgramFailures(t *testing.T) {
+	faultCampaign(t, flash.FaultPlan{Seed: 2, FailProgramEvery: 17})
+}
+
+// TestGCSurvivesCombinedWear combines probabilistic program and erase faults
+// — the worn-device regime where both happen interleaved with relocation.
+func TestGCSurvivesCombinedWear(t *testing.T) {
+	faultCampaign(t, flash.FaultPlan{Seed: 3, FailProgramProb: 0.02, FailEraseProb: 0.1})
+}

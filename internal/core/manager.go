@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -676,41 +677,57 @@ func (m *Manager) WritePage(now sim.Time, lpn LPN, data []byte, h Hint) (sim.Tim
 		}
 	}
 
-	da, slot, gcDone, err := m.allocateSlot(now, r)
-	if err != nil {
-		if !m.opts.DisableSpill && r.id != DefaultRegionID {
-			// The hinted region has raw space exhausted (e.g. GC cannot keep
-			// up); fall back to the default region.
-			r.spills++
-			r = m.regionsByID[DefaultRegionID]
-			da, slot, gcDone, err = m.allocateSlot(now, r)
-		}
+	var (
+		da   *dieAlloc
+		slot slotRef
+		addr ppa
+		done sim.Time
+	)
+	for attempt := 0; ; attempt++ {
+		var gcDone sim.Time
+		var err error
+		da, slot, gcDone, err = m.allocateSlot(now, r)
 		if err != nil {
-			m.mu.Unlock()
-			return now, err
+			if !m.opts.DisableSpill && r.id != DefaultRegionID {
+				// The hinted region has raw space exhausted (e.g. GC cannot
+				// keep up); fall back to the default region.
+				r.spills++
+				r = m.regionsByID[DefaultRegionID]
+				da, slot, gcDone, err = m.allocateSlot(now, r)
+			}
+			if err != nil {
+				m.mu.Unlock()
+				return now, err
+			}
 		}
-	}
-	now = gcDone
+		now = gcDone
 
-	addr := ppa{Die: da.die, Block: slot.block, Page: slot.page}
-	m.seq++
-	meta := flash.PageMeta{
-		LPN:      uint64(lpn),
-		ObjectID: h.ObjectID,
-		RegionID: uint32(r.id),
-		Seq:      m.seq,
-		Flags:    h.Flags,
-	}
-	done, err := m.sched.Program(now, addr, data, meta, iosched.PrioHostWrite)
-	if err != nil {
+		addr = ppa{Die: da.die, Block: slot.block, Page: slot.page}
+		m.seq++
+		meta := flash.PageMeta{
+			LPN:      uint64(lpn),
+			ObjectID: h.ObjectID,
+			RegionID: uint32(r.id),
+			Seq:      m.seq,
+			Flags:    h.Flags,
+		}
+		done, err = m.sched.Program(now, addr, data, meta, iosched.PrioHostWrite)
+		if err == nil {
+			break
+		}
 		// Roll back the slot reservation bookkeeping; the block page is
 		// still erased because the program failed.  A block the device has
-		// marked bad is retired so the next write opens a fresh one.
+		// marked bad is retired so the next write opens a fresh one.  A
+		// transient program fault is retried a bounded number of times; the
+		// round-robin die cursor has advanced, so the retry usually lands on
+		// a different die.
 		blk := &da.blocks[slot.block]
 		blk.nextPage--
 		m.retireIfBad(da, slot.block)
-		m.mu.Unlock()
-		return now, err
+		if attempt >= maxProgramRetries || !errors.Is(err, flash.ErrProgramFault) {
+			m.mu.Unlock()
+			return now, err
+		}
 	}
 
 	blk := &da.blocks[slot.block]
@@ -797,6 +814,10 @@ func (m *Manager) TrimPage(lpn LPN) error {
 	}
 	return nil
 }
+
+// maxProgramRetries bounds how often WritePage retries after a transient
+// injected program fault before surfacing the error.
+const maxProgramRetries = 3
 
 // slotRef identifies the page slot handed out by allocateSlot.
 type slotRef struct {

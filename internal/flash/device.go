@@ -110,6 +110,10 @@ type Device struct {
 	copyback *metrics.Counter
 	metaRds  *metrics.Counter
 	badBlks  *metrics.Counter
+
+	// fault injection (see fault.go); nil when no plan is armed
+	faultMu sync.Mutex
+	fault   *faultState
 }
 
 // NewDevice creates a device with the given configuration.
@@ -170,6 +174,9 @@ func (d *Device) ReadPage(now sim.Time, addr Addr, buf []byte) ([]byte, PageMeta
 	if !d.geo.ValidAddr(addr) {
 		return nil, PageMeta{}, now, fmt.Errorf("%w: %v", ErrOutOfRange, addr)
 	}
+	if fd := d.faultOp(now, opRead); fd.crash {
+		return nil, PageMeta{}, now, ErrCrashed
+	}
 	ds := d.dies[addr.Die]
 	ds.mu.Lock()
 	blk := &ds.blocks[addr.Block]
@@ -206,6 +213,9 @@ func (d *Device) ReadMeta(now sim.Time, addr Addr) (PageMeta, sim.Time, error) {
 	if !d.geo.ValidAddr(addr) {
 		return PageMeta{}, now, fmt.Errorf("%w: %v", ErrOutOfRange, addr)
 	}
+	if fd := d.faultOp(now, opRead); fd.crash {
+		return PageMeta{}, now, ErrCrashed
+	}
 	ds := d.dies[addr.Die]
 	ds.mu.Lock()
 	blk := &ds.blocks[addr.Block]
@@ -237,6 +247,14 @@ func (d *Device) ProgramPage(now sim.Time, addr Addr, data []byte, meta PageMeta
 	}
 	if d.cfg.StoreData && data != nil && len(data) != d.geo.PageSize {
 		return now, fmt.Errorf("%w: got %d bytes, want %d", ErrPageSize, len(data), d.geo.PageSize)
+	}
+	if fd := d.faultOp(now, opProgram); fd.crash {
+		if fd.tornProgram {
+			d.programTorn(addr, data, meta, fd.tornBytes)
+		}
+		return now, ErrCrashed
+	} else if fd.failProgram {
+		return now, fmt.Errorf("%w: %v", ErrProgramFault, addr)
 	}
 	ds := d.dies[addr.Die]
 	ds.mu.Lock()
@@ -282,6 +300,18 @@ func (d *Device) EraseBlock(now sim.Time, b BlockAddr) (sim.Time, error) {
 	if !d.geo.ValidBlock(b) {
 		return now, fmt.Errorf("%w: %v", ErrOutOfRange, b)
 	}
+	if fd := d.faultOp(now, opErase); fd.crash {
+		return now, ErrCrashed
+	} else if fd.failErase {
+		ds := d.dies[b.Die]
+		ds.mu.Lock()
+		if !ds.blocks[b.Block].bad {
+			ds.blocks[b.Block].bad = true
+			d.badBlks.Inc()
+		}
+		ds.mu.Unlock()
+		return now, fmt.Errorf("%w: %v", ErrEraseFault, b)
+	}
 	ds := d.dies[b.Die]
 	ds.mu.Lock()
 	blk := &ds.blocks[b.Block]
@@ -318,6 +348,11 @@ func (d *Device) Copyback(now sim.Time, src, dst Addr) (PageMeta, sim.Time, erro
 	}
 	if src.Die != dst.Die {
 		return PageMeta{}, now, fmt.Errorf("%w: %v -> %v", ErrCopybackCrossDie, src, dst)
+	}
+	if fd := d.faultOp(now, opCopyback); fd.crash {
+		return PageMeta{}, now, ErrCrashed
+	} else if fd.failProgram {
+		return PageMeta{}, now, fmt.Errorf("%w: copyback %v -> %v", ErrProgramFault, src, dst)
 	}
 	ds := d.dies[src.Die]
 	ds.mu.Lock()
@@ -359,6 +394,43 @@ func (d *Device) Copyback(now sim.Time, src, dst Addr) (PageMeta, sim.Time, erro
 	_, done := d.dieRes[src.Die].Acquire(now, d.cfg.Timing.ReadPage+d.cfg.Timing.ProgramPage)
 	d.copyback.Inc()
 	return meta, done, nil
+}
+
+// programTorn applies the durable side effect of a program interrupted by a
+// crash: the page is marked programmed with its OOB metadata intact, but only
+// a prefix of the payload was written — the final tornBytes bytes stay zero.
+// Validation failures are silently ignored (the caller is crashing anyway).
+func (d *Device) programTorn(addr Addr, data []byte, meta PageMeta, tornBytes int) {
+	if !d.cfg.StoreData || data == nil || len(data) != d.geo.PageSize {
+		return
+	}
+	ds := d.dies[addr.Die]
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	blk := &ds.blocks[addr.Block]
+	if blk.bad || blk.states[addr.Page] != pageErased {
+		return
+	}
+	if d.cfg.EnforceProgramOrder && addr.Page != blk.nextPage {
+		return
+	}
+	cut := len(data) - tornBytes
+	if cut < 0 {
+		cut = 0
+	}
+	blk.states[addr.Page] = pageProgrammed
+	blk.meta[addr.Page] = meta
+	if addr.Page >= blk.nextPage {
+		blk.nextPage = addr.Page + 1
+	}
+	if blk.data == nil {
+		blk.data = make([][]byte, d.geo.PagesPerBlock)
+	}
+	cp := make([]byte, d.geo.PageSize)
+	copy(cp, data[:cut])
+	blk.data[addr.Page] = cp
+	ds.programs++
+	d.programs.Inc()
 }
 
 // PageProgrammed reports whether the page at addr has been programmed since

@@ -292,6 +292,34 @@ func IterateRecords(buf []byte, fn func(slot uint16, rec []byte) bool) error {
 	return nil
 }
 
+// CheckedRecords returns the live records of buf in slot order, validating
+// the slotted structure as it goes: every slot and record byte range must lie
+// inside the page.  It stops at the first structural violation and reports
+// whether the whole page was consistent.  Recovery uses it to read pages that
+// may have been torn or corrupted by a crash, where IterateRecords could walk
+// out of bounds.
+func CheckedRecords(buf []byte) (recs [][]byte, ok bool) {
+	if !IsFormatted(buf) {
+		return nil, false
+	}
+	n := SlotCount(buf)
+	if slotOffsetPos(n) > len(buf) {
+		return nil, false
+	}
+	for s := 0; s < n; s++ {
+		off, length := readSlot(buf, s)
+		if off == deletedSlotOffset {
+			continue
+		}
+		start, end := int(off), int(off)+int(length)
+		if start < slotOffsetPos(n) || end > len(buf) {
+			return recs, false
+		}
+		recs = append(recs, buf[start:end])
+	}
+	return recs, true
+}
+
 // compact rewrites the record area so that all live records are contiguous
 // at the end of the page and deleted space is reclaimed.
 func compact(buf []byte) {

@@ -170,6 +170,11 @@ func runPhase(db *noftl.DB, sch *Schema, cfg Config) (Results, error) {
 				case err == nil:
 					end, cerr := tx.Commit()
 					if cerr != nil {
+						// Release the transaction's locks before bailing out:
+						// a failed commit leaves the txn active, and exiting
+						// with locks held would stall every other terminal
+						// until their wall-clock fallbacks fire.
+						tx.Abort()
 						failed.Add(1)
 						errCh <- cerr
 						return

@@ -361,6 +361,25 @@ func NewManager(lm *LockManager, log *wal.Log, clock *sim.Clock) *Manager {
 // LockManager returns the shared lock manager.
 func (m *Manager) LockManager() *LockManager { return m.lm }
 
+// NextID returns the highest transaction id handed out so far (checkpoints
+// persist it so recovery can seed a fresh manager past it).
+func (m *Manager) NextID() uint64 { return m.nextID.Load() }
+
+// SeedNextID raises the id counter so that future transactions receive ids
+// strictly greater than next.  Recovery uses it to keep replayed transaction
+// ids from being reissued.
+func (m *Manager) SeedNextID(next uint64) {
+	for {
+		cur := m.nextID.Load()
+		if cur >= next {
+			return
+		}
+		if m.nextID.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
 // Started, Committed and Aborted return lifetime counters.
 func (m *Manager) Started() int64   { return m.started.Load() }
 func (m *Manager) Committed() int64 { return m.commits.Load() }

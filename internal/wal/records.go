@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"noftl/internal/storage"
+)
+
+// Record payload codecs.  Since PR 10 the DML record types carry enough state
+// for a logical redo through the normal heap/btree path:
+//
+//	RecInsert      rid(10) + row image
+//	RecUpdate      rid(10) + after image
+//	RecDelete      rid(10)
+//	RecIndexInsert u16 key length + key + rid(10)
+//	RecIndexDelete key
+//	RecCheckpoint  u32 chunk index + u32 chunk total + snapshot bytes
+//	               (TxnID carries the checkpoint sequence number)
+//
+// Earlier logs carried bare RIDs for insert/update; decoders below treat a
+// missing row image as an empty row rather than rejecting the record.
+
+const ridLen = 10
+
+// MaxPayload returns the largest record payload that fits into one log page
+// of the given size (records never span pages).
+func MaxPayload(pageSize int) int {
+	return pageSize - storage.PageHeaderSize - 8 - recHeaderSize
+}
+
+// RecordSize returns the encoded size of a record on a log page.
+func RecordSize(r Record) int {
+	return recHeaderSize + len(r.Payload)
+}
+
+// EncodeRowPayload packs a RID plus a row image (RecInsert, RecUpdate).
+func EncodeRowPayload(rid storage.RID, row []byte) []byte {
+	out := make([]byte, 0, ridLen+len(row))
+	out = append(out, rid.Encode()...)
+	return append(out, row...)
+}
+
+// DecodeRowPayload unpacks a RecInsert/RecUpdate payload.
+func DecodeRowPayload(p []byte) (storage.RID, []byte, error) {
+	rid, err := storage.DecodeRID(p)
+	if err != nil {
+		return storage.RID{}, nil, fmt.Errorf("%w: row payload: %v", ErrCorrupt, err)
+	}
+	return rid, p[ridLen:], nil
+}
+
+// EncodeIndexInsert packs an index entry (RecIndexInsert).
+func EncodeIndexInsert(key []byte, rid storage.RID) []byte {
+	out := make([]byte, 0, 2+len(key)+ridLen)
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(key)))
+	out = append(out, l[:]...)
+	out = append(out, key...)
+	return append(out, rid.Encode()...)
+}
+
+// DecodeIndexInsert unpacks a RecIndexInsert payload.
+func DecodeIndexInsert(p []byte) ([]byte, storage.RID, error) {
+	if len(p) < 2 {
+		return nil, storage.RID{}, fmt.Errorf("%w: short index payload", ErrCorrupt)
+	}
+	kl := int(binary.LittleEndian.Uint16(p))
+	if len(p) < 2+kl+ridLen {
+		return nil, storage.RID{}, fmt.Errorf("%w: truncated index payload", ErrCorrupt)
+	}
+	key := p[2 : 2+kl]
+	rid, err := storage.DecodeRID(p[2+kl:])
+	if err != nil {
+		return nil, storage.RID{}, fmt.Errorf("%w: index payload: %v", ErrCorrupt, err)
+	}
+	return key, rid, nil
+}
+
+// EncodeCheckpointChunk packs one chunk of a checkpoint snapshot.
+func EncodeCheckpointChunk(index, total uint32, data []byte) []byte {
+	out := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint32(out, index)
+	binary.LittleEndian.PutUint32(out[4:], total)
+	copy(out[8:], data)
+	return out
+}
+
+// DecodeCheckpointChunk unpacks a RecCheckpoint payload.  A legacy empty
+// checkpoint record (no payload) decodes as a complete zero-byte snapshot.
+func DecodeCheckpointChunk(p []byte) (index, total uint32, data []byte, err error) {
+	if len(p) == 0 {
+		return 0, 1, nil, nil
+	}
+	if len(p) < 8 {
+		return 0, 0, nil, fmt.Errorf("%w: short checkpoint chunk", ErrCorrupt)
+	}
+	index = binary.LittleEndian.Uint32(p)
+	total = binary.LittleEndian.Uint32(p[4:])
+	if total == 0 || index >= total {
+		return 0, 0, nil, fmt.Errorf("%w: checkpoint chunk %d/%d", ErrCorrupt, index, total)
+	}
+	return index, total, p[8:], nil
+}

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"noftl/internal/core"
+	"noftl/internal/storage"
+)
+
+// PageImage is one surviving version of a log page, read back by the
+// post-crash OOB scan.  Because the log rewrites its current page out of
+// place on every force, several versions of the same LPN can coexist on
+// flash; Seq is the device's program sequence number, so higher Seq means a
+// newer (superset) version.
+type PageImage struct {
+	LPN  core.LPN
+	Seq  uint64
+	Data []byte
+}
+
+// ScanResult is the reconstructed durable record stream.
+type ScanResult struct {
+	// Records is the surviving log in LSN order (a contiguous range).
+	Records []Record
+	// TornRecords counts records dropped from the torn tail (a program
+	// interrupted by the crash, or byte-level corruption of the final page).
+	TornRecords int
+	// TornTail reports whether the newest log write had to be discarded or
+	// truncated and an older version (or a valid prefix) was used instead.
+	TornTail bool
+	// Bytes is the total encoded size of the surviving records.
+	Bytes int64
+	// StaleRecords counts records from stale pre-truncation log segments:
+	// pages dropped by an old checkpoint's Truncate stay physically present
+	// until the garbage collector erases their blocks, so the scan can find
+	// old record runs separated from the live log by an LSN gap.  Only the
+	// final contiguous run is returned; if any records were dropped this way
+	// the recovery layer must find a checkpoint in the surviving run.
+	StaleRecords int
+}
+
+// parsePage decodes the records of one log page version in slot (= append)
+// order.  It returns the records up to the first invalid one, how many
+// structurally present records failed validation, and whether the whole page
+// decoded cleanly.
+func parsePage(data []byte) (recs []Record, dropped int, complete bool) {
+	raw, structOK := storage.CheckedRecords(data)
+	for i, rb := range raw {
+		r, err := decodeRecord(rb)
+		if err != nil {
+			return recs, len(raw) - i, false
+		}
+		recs = append(recs, r)
+	}
+	return recs, 0, structOK
+}
+
+// ScanImages reconstructs the durable record stream from the log page images
+// that survived a crash.  For every LPN the newest fully valid version wins;
+// the page holding the globally newest write (the only one a single crash can
+// tear) may instead contribute the valid prefix of its newest version when
+// that reaches further.  Any other page without a fully valid version is hard
+// corruption.
+func ScanImages(images []PageImage) (ScanResult, error) {
+	var res ScanResult
+	if len(images) == 0 {
+		return res, nil
+	}
+	byLPN := make(map[core.LPN][]PageImage)
+	var tailLPN core.LPN
+	var maxSeq uint64
+	for _, img := range images {
+		byLPN[img.LPN] = append(byLPN[img.LPN], img)
+		if img.Seq >= maxSeq {
+			maxSeq, tailLPN = img.Seq, img.LPN
+		}
+	}
+
+	type pageRecs struct {
+		firstLSN uint64
+		recs     []Record
+	}
+	var pages []pageRecs
+	for lpn, versions := range byLPN {
+		sort.Slice(versions, func(i, j int) bool { return versions[i].Seq > versions[j].Seq })
+		var chosen []Record
+		found := false
+		for _, v := range versions {
+			recs, _, complete := parsePage(v.Data)
+			if complete {
+				chosen, found = recs, true
+				break
+			}
+		}
+		if lpn == tailLPN {
+			// The newest write may be torn: accept the valid prefix of the
+			// newest version if it reaches further than the best complete
+			// version (all versions of one LPN share their first LSN).
+			prefix, dropped, complete := parsePage(versions[0].Data)
+			if !complete && len(prefix) > len(chosen) {
+				chosen, found = prefix, true
+				res.TornRecords += dropped
+				res.TornTail = true
+			} else if !complete {
+				res.TornTail = true
+				res.TornRecords += dropped
+			}
+		}
+		if !found {
+			if lpn == tailLPN {
+				continue // newest write fully lost: nothing durable from it
+			}
+			return res, fmt.Errorf("%w: log page %d has no valid version", ErrCorrupt, lpn)
+		}
+		if len(chosen) == 0 {
+			continue
+		}
+		pages = append(pages, pageRecs{firstLSN: chosen[0].LSN, recs: chosen})
+	}
+
+	sort.Slice(pages, func(i, j int) bool { return pages[i].firstLSN < pages[j].firstLSN })
+	for _, p := range pages {
+		if n := len(res.Records); n > 0 && p.firstLSN != res.Records[n-1].LSN+1 {
+			// An LSN gap separates a stale pre-truncation segment from the
+			// rest of the log: restart with the newer run.  Truncate only ever
+			// drops pages below a durable checkpoint, so everything discarded
+			// here is covered by a checkpoint in the final run.
+			res.StaleRecords += len(res.Records)
+			res.Records = res.Records[:0]
+			res.Bytes = 0
+		}
+		for _, r := range p.recs {
+			if n := len(res.Records); n > 0 && r.LSN != res.Records[n-1].LSN+1 {
+				return res, fmt.Errorf("%w: non-contiguous lsn %d after %d",
+					ErrCorrupt, r.LSN, res.Records[n-1].LSN)
+			}
+			res.Records = append(res.Records, r)
+			res.Bytes += int64(recHeaderSize + len(r.Payload))
+		}
+	}
+	return res, nil
+}
+
+// LastCheckpoint assembles the snapshot of the last complete checkpoint in
+// recs.  A checkpoint is complete when all of its chunks (RecCheckpoint
+// records sharing one TxnID, which carries the checkpoint sequence number)
+// survived the crash.  It returns the snapshot bytes and the LSN of the final
+// chunk — replay starts strictly after that LSN.
+func LastCheckpoint(recs []Record) (data []byte, endLSN uint64, ok bool) {
+	type ckpt struct {
+		total  uint32
+		chunks map[uint32][]byte
+		maxLSN uint64
+	}
+	open := make(map[uint64]*ckpt)
+	for _, r := range recs {
+		if r.Type != RecCheckpoint {
+			continue
+		}
+		idx, total, chunk, err := DecodeCheckpointChunk(r.Payload)
+		if err != nil {
+			continue
+		}
+		c := open[r.TxnID]
+		if c == nil {
+			c = &ckpt{chunks: make(map[uint32][]byte)}
+			open[r.TxnID] = c
+		}
+		c.total = total
+		c.chunks[idx] = chunk
+		if r.LSN > c.maxLSN {
+			c.maxLSN = r.LSN
+		}
+	}
+	var best *ckpt
+	for _, c := range open {
+		if uint32(len(c.chunks)) != c.total {
+			continue
+		}
+		if best == nil || c.maxLSN > best.maxLSN {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	for i := uint32(0); i < best.total; i++ {
+		data = append(data, best.chunks[i]...)
+	}
+	return data, best.maxLSN, true
+}

@@ -32,6 +32,8 @@ const (
 	RecUpdate
 	RecDelete
 	RecCheckpoint
+	RecIndexInsert
+	RecIndexDelete
 )
 
 func (t RecordType) String() string {
@@ -50,6 +52,10 @@ func (t RecordType) String() string {
 		return "DELETE"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecIndexInsert:
+		return "IDX-INSERT"
+	case RecIndexDelete:
+		return "IDX-DELETE"
 	default:
 		return "UNKNOWN"
 	}
@@ -132,6 +138,14 @@ type Log struct {
 	flushes  int64
 	bytes    int64
 
+	// Byte accounting across checkpoints: pageBytes tracks the encoded
+	// record bytes held by each live log page, so Truncate can move a
+	// dropped page's bytes from the live total to the trimmed total instead
+	// of leaking them (Stats().WAL reconciles: live = appended - trimmed).
+	pageBytes    map[core.LPN]int64
+	bytesTrimmed int64
+	pagesTrimmed int64
+
 	// Group commit.  Committers queue behind a single flush leader; the
 	// leader forces everything appended so far with one device write chain,
 	// making all queued commit records durable at once.  commitBatch and
@@ -164,6 +178,7 @@ func New(mgr *core.Manager, hint core.Hint, pageSize int) *Log {
 		pageSize:    pageSize,
 		nextLSN:     1,
 		pageMaxLSN:  make(map[core.LPN]uint64),
+		pageBytes:   make(map[core.LPN]int64),
 		commitBatch: 1,
 	}
 	l.commitCond = sync.NewCond(&l.mu)
@@ -283,6 +298,7 @@ func (l *Log) Append(typ RecordType, txnID uint64, objectID uint32, payload []by
 	l.nextLSN++
 	l.appended++
 	l.bytes += int64(len(enc))
+	l.pageBytes[l.curLPN] += int64(len(enc))
 	if l.tracer.Enabled(obs.ClassWALAppend) {
 		// Append is a pure memory operation: it carries no virtual-time span
 		// of its own (durability cost lands on the Flush event).
@@ -522,8 +538,41 @@ func (l *Log) Truncate(upToLSN uint64) int {
 			continue
 		}
 		delete(l.pageMaxLSN, lpn)
+		l.bytesTrimmed += l.pageBytes[lpn]
+		delete(l.pageBytes, lpn)
+		l.pagesTrimmed++
 		dropped++
 	}
 	l.pages = kept
 	return dropped
+}
+
+// BytesAppended returns the total encoded record bytes ever appended.
+func (l *Log) BytesAppended() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// BytesTrimmed returns the encoded record bytes dropped by Truncate.
+func (l *Log) BytesTrimmed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesTrimmed
+}
+
+// BytesLive returns the encoded record bytes still held by live log pages
+// (appended minus trimmed) — the upper bound on what a crash now would
+// replay.
+func (l *Log) BytesLive() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes - l.bytesTrimmed
+}
+
+// PagesTrimmed returns the number of log pages dropped by Truncate.
+func (l *Log) PagesTrimmed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pagesTrimmed
 }

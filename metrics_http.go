@@ -104,6 +104,21 @@ func (db *DB) scrapeGauges() {
 			"WAL forces that made more than one committer durable at once.").With().Store(db.log.GroupCommits())
 		reg.Counter("noftl_wal_grouped_txns_total",
 			"Committers served by the WAL group-commit path.").With().Store(db.log.GroupedTxns())
+		reg.Counter("noftl_wal_bytes_appended_total",
+			"Encoded WAL record bytes appended.").With().Store(db.log.BytesAppended())
+		reg.Counter("noftl_wal_bytes_trimmed_total",
+			"Encoded WAL record bytes dropped by checkpoint truncation.").With().Store(db.log.BytesTrimmed())
+		reg.Gauge("noftl_wal_bytes_live",
+			"Encoded WAL record bytes held by live log pages (crash-replay upper bound).").With().Set(db.log.BytesLive())
+		ck := db.checkpointStats()
+		reg.Counter("noftl_wal_checkpoints_total",
+			"Checkpoints taken (full logical snapshots appended to the WAL).").With().Store(ck.Count)
+		reg.Counter("noftl_wal_checkpoint_chunks_total",
+			"Checkpoint snapshot chunk records appended.").With().Store(ck.Chunks)
+		reg.Gauge("noftl_wal_checkpoint_last_lsn",
+			"LSN of the last checkpoint's final chunk (recovery replays records after it).").With().Set(int64(ck.LastLSN))
+		reg.Gauge("noftl_wal_checkpoint_last_bytes",
+			"Snapshot size of the last checkpoint in bytes.").With().Set(ck.LastBytes)
 	}
 
 	dev := db.dev.Stats()

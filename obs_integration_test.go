@@ -27,6 +27,9 @@ func obsConfig() Config {
 	cfg.BufferPoolPages = 32
 	cfg.Space = core.DefaultOptions()
 	cfg.Space.DisableBackgroundGC = true
+	// The WAL carries row images now; without a checkpoint trigger the
+	// update churn would fill the tiny default region with live log pages.
+	cfg.CheckpointEveryBytes = 256 << 10
 	return cfg
 }
 

@@ -25,6 +25,9 @@ type (
 	GCPolicy = core.GCPolicy
 	// PlacementMode selects region-aware or traditional placement.
 	PlacementMode = core.PlacementMode
+	// FaultPlan configures deterministic fault injection on the flash device
+	// (crash points, torn tail writes, program and erase failures).
+	FaultPlan = flash.FaultPlan
 )
 
 // Option is a functional configuration option for Open.  Options are applied
@@ -151,6 +154,36 @@ func WithTraceBuffer(n int) Option {
 	}
 }
 
+// WithCheckpointEvery enables periodic checkpoints: one is taken whenever
+// interval of simulated time has passed or bytes of WAL have been appended
+// since the last checkpoint (zero disables the respective trigger; the checks
+// run after each commit).  Checkpoints bound crash-recovery replay: recovery
+// restores the last snapshot and replays only the log written after it.
+//
+//	db, _ := noftl.Open(noftl.WithCheckpointEvery(time.Second, 256<<10))
+func WithCheckpointEvery(interval time.Duration, bytes int64) Option {
+	return func(c *Config) {
+		c.CheckpointEvery = interval
+		c.CheckpointEveryBytes = bytes
+	}
+}
+
+// WithLightCheckpoints switches checkpoints to the light form: flush dirty
+// pages and truncate the whole WAL without appending a logical snapshot.
+// This bounds the WAL at near-zero cost but gives up crash recovery (Reopen
+// refuses such a log) — the classic reduced-durability benchmark regime.
+func WithLightCheckpoints() Option {
+	return func(c *Config) { c.DisableSnapshotCheckpoints = true }
+}
+
+// WithFaultPlan arms deterministic fault injection on the flash device the
+// moment it is created.  With the same plan (and the same workload) every
+// fault fires at the same point, so crash tests are reproducible.  See
+// Admin().ArmFaults to arm a plan later (e.g. after schema setup).
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(c *Config) { c.FaultPlan = plan }
+}
+
 // WithMetricsListener serves Prometheus text metrics (plus /healthz and
 // pprof) on an HTTP listener at addr, e.g. "127.0.0.1:9090" or
 // "127.0.0.1:0" for a free port (DB.MetricsAddr() reports the bound
@@ -194,6 +227,9 @@ func OpenConfig(cfg Config, opts ...Option) (*DB, error) {
 	dev, err := flash.NewDevice(cfg.Flash)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.FaultPlan != (FaultPlan{}) {
+		dev.Arm(cfg.FaultPlan)
 	}
 	return openOn(cfg, dev)
 }

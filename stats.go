@@ -114,6 +114,16 @@ type WALStats struct {
 	// served by the group-commit path in total.
 	GroupCommits int64
 	GroupedTxns  int64
+	// BytesAppended, BytesTrimmed and BytesLive reconcile the log's byte
+	// ledger: Appended = Trimmed + Live always holds, across checkpoints and
+	// truncations.  BytesLive bounds what a crash right now would replay.
+	BytesAppended int64
+	BytesTrimmed  int64
+	BytesLive     int64
+	// PagesTrimmed counts log pages dropped by checkpoint truncation.
+	PagesTrimmed int64
+	// Checkpoint covers the checkpoint subsystem.
+	Checkpoint CheckpointStats
 }
 
 // TPS returns committed transactions per simulated second.
@@ -175,12 +185,17 @@ func (db *DB) Stats() Stats {
 	}
 	if db.log != nil {
 		st.WAL = WALStats{
-			Appended:     db.log.Appended(),
-			Flushes:      db.log.Flushes(),
-			Pages:        int64(db.log.PageCount()),
-			FlushedLSN:   db.log.FlushedLSN(),
-			GroupCommits: db.log.GroupCommits(),
-			GroupedTxns:  db.log.GroupedTxns(),
+			Appended:      db.log.Appended(),
+			Flushes:       db.log.Flushes(),
+			Pages:         int64(db.log.PageCount()),
+			FlushedLSN:    db.log.FlushedLSN(),
+			GroupCommits:  db.log.GroupCommits(),
+			GroupedTxns:   db.log.GroupedTxns(),
+			BytesAppended: db.log.BytesAppended(),
+			BytesTrimmed:  db.log.BytesTrimmed(),
+			BytesLive:     db.log.BytesLive(),
+			PagesTrimmed:  db.log.PagesTrimmed(),
+			Checkpoint:    db.checkpointStats(),
 		}
 	}
 	if db.tracer != nil {

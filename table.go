@@ -39,9 +39,18 @@ func btreeNew(now sim.Time, name string, objectID uint32, ts *storage.Tablespace
 
 // Tx is a transaction handle.  It is owned by a single goroutine.
 type Tx struct {
-	db      *DB
-	inner   *txn.Txn
-	iterErr error // first error hit inside a Rows/Range iteration
+	db       *DB
+	inner    *txn.Txn
+	iterErr  error // first error hit inside a Rows/Range iteration
+	quiesced bool  // still holding the checkpoint quiesce lock shared
+}
+
+// release drops the checkpoint quiesce lock exactly once.
+func (tx *Tx) release() {
+	if tx.quiesced {
+		tx.quiesced = false
+		tx.db.ckptMu.RUnlock()
+	}
 }
 
 // Err returns the first error encountered inside an iterator (Table.Rows,
@@ -70,11 +79,19 @@ func (tx *Tx) Charge(d sim.Duration) { tx.inner.Charge(d) }
 // virtual time.
 func (tx *Tx) Commit() (sim.Time, error) {
 	done, err := tx.inner.Commit()
+	tx.release()
+	if err == nil {
+		tx.db.maybeCheckpoint(done)
+	}
 	return done, publicErr(err)
 }
 
 // Abort aborts the transaction.
-func (tx *Tx) Abort() sim.Time { return tx.inner.Abort() }
+func (tx *Tx) Abort() sim.Time {
+	done := tx.inner.Abort()
+	tx.release()
+	return done
+}
 
 func (tx *Tx) chargeOp() { tx.inner.Charge(tx.db.cfg.CPUPerOp) }
 
@@ -106,7 +123,7 @@ func (t *Table) Insert(tx *Tx, row []byte) (RID, error) {
 		return RID{}, err
 	}
 	tx.inner.AdvanceTo(done)
-	tx.inner.Log(wal.RecInsert, t.objectID, rid.Encode())
+	tx.inner.Log(wal.RecInsert, t.objectID, wal.EncodeRowPayload(rid, row))
 	t.db.objStats.RecordAppend(t.name, 1)
 	return rid, nil
 }
@@ -131,7 +148,7 @@ func (t *Table) Update(tx *Tx, rid RID, row []byte) error {
 		return publicErr(err)
 	}
 	tx.inner.AdvanceTo(done)
-	tx.inner.Log(wal.RecUpdate, t.objectID, rid.Encode())
+	tx.inner.Log(wal.RecUpdate, t.objectID, wal.EncodeRowPayload(rid, row))
 	return nil
 }
 
@@ -189,6 +206,7 @@ func (i *Index) Insert(tx *Tx, key []byte, rid RID) error {
 		return err
 	}
 	tx.inner.AdvanceTo(done)
+	tx.inner.Log(wal.RecIndexInsert, i.meta.ObjectID, wal.EncodeIndexInsert(key, rid))
 	return nil
 }
 
@@ -218,6 +236,7 @@ func (i *Index) Delete(tx *Tx, key []byte) error {
 		return err
 	}
 	tx.inner.AdvanceTo(done)
+	tx.inner.Log(wal.RecIndexDelete, i.meta.ObjectID, key)
 	return nil
 }
 
